@@ -1,0 +1,366 @@
+package energydb
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation as testing.B targets (quick-sweep configurations so a full
+// `go test -bench=.` completes on a laptop; run cmd/energyprof for the
+// full-length versions), plus component micro-benchmarks of the simulator
+// substrate and the ablation benches called out in DESIGN.md.
+//
+// Each paper-artifact benchmark prints its regenerated table once.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/harness"
+	"energydb/internal/memsim"
+	"energydb/internal/mubench"
+	"energydb/internal/rapl"
+	"energydb/internal/tcm"
+	"energydb/internal/tpch"
+
+	"energydb/internal/core"
+)
+
+var printedTables sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := harness.DefaultOptions()
+	opts.Quick = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printedTables.LoadOrStore(id, true); !done {
+			b.StopTimer()
+			fmt.Printf("\n%s\n", res.Text)
+			b.StartTimer()
+		}
+	}
+}
+
+// Paper artifacts: one benchmark per table and figure.
+
+func BenchmarkTable1(b *testing.B)  { runExperiment(b, "T1") }
+func BenchmarkTable2(b *testing.B)  { runExperiment(b, "T2") }
+func BenchmarkTable3(b *testing.B)  { runExperiment(b, "T3") }
+func BenchmarkTable5(b *testing.B)  { runExperiment(b, "T5") }
+func BenchmarkFigure5(b *testing.B) { runExperiment(b, "F5") }
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "F6") }
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "F7") }
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "F8") }
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "F9") }
+
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "F10") }
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "F11") }
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, "F13") }
+
+// Substrate micro-benchmarks: raw simulator throughput.
+
+func BenchmarkHierarchyLoadL1DHit(b *testing.B) {
+	h := memsim.New(memsim.I7_4790())
+	h.Load(0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, false)
+	}
+}
+
+func BenchmarkHierarchyLoadStream(b *testing.B) {
+	h := memsim.New(memsim.I7_4790())
+	h.SetPrefetchEnabled(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i)*memsim.LineSize, false)
+	}
+}
+
+func BenchmarkHierarchyLoadRandomDRAM(b *testing.B) {
+	h := memsim.New(memsim.I7_4790())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i*2654435761)%(256<<20), true)
+	}
+}
+
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		meter := rapl.NewMeter(m, 1, 0)
+		r := mubench.NewRunner(m, meter)
+		r.Scale = 0.02
+		r.Repetitions = 1
+		if _, err := core.Calibrate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPCHQ1SQLite(b *testing.B) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	tpch.Setup(e, tpch.Size10MB)
+	q, err := tpch.QueryByID(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := q.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPCHQ3HashJoinPostgreSQL(b *testing.B) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.PostgreSQL, m, engine.SettingBaseline)
+	tpch.Setup(e, tpch.Size10MB)
+	q, err := tpch.QueryByID(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := q.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches (DESIGN.md section 6).
+
+// BenchmarkAblationPrefetcher quantifies what the L2 streamer is worth to a
+// scan-heavy query: the same plan runs with the prefetcher on and off, and
+// the stall-cycle ratio is reported as a custom metric.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	run := func(on bool) float64 {
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+		tpch.Setup(e, tpch.Size10MB)
+		m.Hier.SetPrefetchEnabled(on)
+		q, err := tpch.QueryByID(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := q.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		before := m.Hier.Counters()
+		plan, err = q.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		return float64(m.Hier.Counters().Sub(before).StallCycles)
+	}
+	var withPf, withoutPf float64
+	for i := 0; i < b.N; i++ {
+		withPf = run(true)
+		withoutPf = run(false)
+	}
+	if withPf > 0 {
+		b.ReportMetric(withoutPf/withPf, "stall-ratio-off/on")
+	}
+}
+
+// BenchmarkAblationDTCMBudget sweeps how the 32KB DTCM budget split between
+// the three co-design strategies affects the saving: all-specials vs the
+// paper's 16/4/12KB split (buffer/specials/B-tree).
+func BenchmarkAblationDTCMBudget(b *testing.B) {
+	measure := func(tables []string) float64 {
+		run := func(optimize bool) float64 {
+			m := tcm.NewMachine()
+			meter := rapl.NewPowerMeter(m, 7, 0)
+			e := engine.New(engine.SQLite, m, engine.SettingSmall)
+			tpch.Setup(e, tpch.Size10MB)
+			if optimize {
+				if _, err := tcm.OptimizeSQLite(e, tables); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q, err := tpch.QueryByID(6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := q.Build(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(plan); err != nil {
+				b.Fatal(err)
+			}
+			plan, err = q.Build(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+			j, _ := meter.MeasureSession(func() {
+				if _, err := e.Run(plan); err != nil {
+					b.Fatal(err)
+				}
+			})
+			return j
+		}
+		return 1 - run(true)/run(false)
+	}
+	var lineitemOnly, allTables float64
+	for i := 0; i < b.N; i++ {
+		lineitemOnly = measure([]string{"lineitem"})
+		allTables = measure([]string{"lineitem", "orders", "customer", "part", "supplier"})
+	}
+	b.ReportMetric(lineitemOnly*100, "saving%-btree-lineitem")
+	b.ReportMetric(allTables*100, "saving%-btree-split")
+}
+
+// BenchmarkAblationL1DPrefetcher enables the PMU-invisible L1D next-line
+// prefetcher (the paper: the i7-4790's L1D prefetchers "cannot support the
+// performance counter") and reports how much true energy becomes invisible
+// to the Eq. 1 model on a scan query — one source of the paper's <100%
+// verification accuracy.
+func BenchmarkAblationL1DPrefetcher(b *testing.B) {
+	var hiddenShare float64
+	for i := 0; i < b.N; i++ {
+		prof := cpusim.IntelI7_4790()
+		prof.Mem.Prefetch.L1DNextLine = true
+		m := cpusim.NewMachine(prof)
+		e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+		tpch.Setup(e, tpch.Size10MB)
+		m.Hier.SetPrefetchEnabled(true)
+		q, err := tpch.QueryByID(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := q.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		before := m.Hier.Counters()
+		plan, err = q.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		d := m.Hier.Counters().Sub(before)
+		table := prof.Energy
+		hidden := table.PerOp(cpusim.OpL2, m.PState()) * float64(d.UncountedL1DPf)
+		visible := table.Active(d, m.PState()).Total() * 1e9
+		if visible > 0 {
+			hiddenShare = hidden / visible * 100
+		}
+	}
+	b.ReportMetric(hiddenShare, "hidden-energy-%")
+}
+
+// BenchmarkAblationFillPolicy quantifies the step-by-step replication
+// strategy (Figure 2) against a direct-to-L1 fill: replication costs more
+// fill traffic but keeps copies in L2/L3, so re-references stay close.
+// Reported metrics compare true active energy and stall cycles for a scan
+// query under both policies.
+func BenchmarkAblationFillPolicy(b *testing.B) {
+	run := func(direct bool) (energy float64, stalls uint64) {
+		prof := cpusim.IntelI7_4790()
+		prof.Mem.DirectFill = direct
+		m := cpusim.NewMachine(prof)
+		e := engine.New(engine.PostgreSQL, m, engine.SettingBaseline)
+		// The policy only matters when re-references land in L2/L3:
+		// an index scan over the 100MB class has exactly that reuse.
+		tpch.Setup(e, tpch.Size100MB)
+		op, err := tpch.BasicOpByName("index scan")
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := op.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		before := m.Hier.Counters()
+		e0 := m.ActiveEnergy().Total()
+		plan, err = op.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(plan); err != nil {
+			b.Fatal(err)
+		}
+		return m.ActiveEnergy().Total() - e0, m.Hier.Counters().Sub(before).StallCycles
+	}
+	var eRepl, eDirect float64
+	var sRepl, sDirect uint64
+	for i := 0; i < b.N; i++ {
+		eRepl, sRepl = run(false)
+		eDirect, sDirect = run(true)
+	}
+	if eRepl > 0 && sRepl > 0 {
+		b.ReportMetric(eDirect/eRepl, "energy-direct/repl")
+		b.ReportMetric(float64(sDirect)/float64(sRepl), "stall-direct/repl")
+	}
+}
+
+// BenchmarkAblationEngineOverhead contrasts the three engine cost models on
+// the identical plan shape, reporting instructions per returned row.
+func BenchmarkAblationEngineOverhead(b *testing.B) {
+	for _, kind := range engine.Kinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			m := cpusim.NewMachine(cpusim.IntelI7_4790())
+			e := engine.New(kind, m, engine.SettingBaseline)
+			tpch.Setup(e, tpch.Size10MB)
+			q, err := tpch.QueryByID(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var instr, rows uint64
+			for i := 0; i < b.N; i++ {
+				plan, err := q.Build(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := m.Hier.Counters()
+				n, err := e.Run(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instr += m.Hier.Counters().Sub(before).Instructions()
+				rows += uint64(n)
+			}
+			lines := m.Hier.Counters()
+			_ = lines
+			if rows > 0 {
+				b.ReportMetric(float64(instr)/float64(b.N), "instr/query")
+			}
+		})
+	}
+}

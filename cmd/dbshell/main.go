@@ -1,0 +1,204 @@
+// Command dbshell is an interactive SQL shell over a simulated database
+// engine with TPC-H data loaded, printing a per-query energy breakdown
+// after every statement — the paper's methodology at a prompt.
+//
+// Usage:
+//
+//	dbshell -db sqlite -class 10MB
+//	> SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag
+//	> \tables
+//	> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"energydb/internal/core"
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/sql"
+	"energydb/internal/db/value"
+	"energydb/internal/mubench"
+	"energydb/internal/rapl"
+	"energydb/internal/tpch"
+)
+
+func main() {
+	var (
+		dbFlag    = flag.String("db", "sqlite", "engine profile: postgresql, sqlite, mysql")
+		classFlag = flag.String("class", "10MB", "dataset class: 10MB, 100MB, 500MB, 1GB")
+		setting   = flag.String("setting", "baseline", "knobs: small, baseline, large")
+		maxRows   = flag.Int("rows", 20, "max rows displayed per query")
+	)
+	flag.Parse()
+
+	kind, err := parseKind(*dbFlag)
+	if err != nil {
+		fatal(err)
+	}
+	class, err := parseClass(*classFlag)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := parseSetting(*setting)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Calibrating the i7-4790 energy model...\n")
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	meter := rapl.NewMeter(m, 42, rapl.DefaultNoise)
+	runner := mubench.NewRunner(m, meter)
+	runner.Scale = 0.1
+	cal, err := core.Calibrate(runner)
+	if err != nil {
+		fatal(err)
+	}
+	prof := core.NewProfiler(m, meter, cal)
+
+	fmt.Printf("Loading TPC-H %s into the %v profile (%v knobs)...\n", class, kind, set)
+	e := engine.New(kind, m, set)
+	tpch.Setup(e, class)
+	fmt.Println(`Ready. End statements with a newline; \tables lists tables; \quit exits.`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case strings.HasPrefix(line, `\q`) && len(line) > 2:
+			// \q<N> runs TPC-H query N with the energy breakdown.
+			var id int
+			if _, err := fmt.Sscanf(line, `\q%d`, &id); err != nil {
+				fmt.Println("error: use \\q<N> with N in 1..22")
+				continue
+			}
+			q, err := tpch.QueryByID(id)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			plan, err := q.Build(e)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			var rows int
+			var runErr error
+			b := prof.Profile(q.Name, func() { rows, runErr = e.Run(plan) })
+			if runErr != nil {
+				fmt.Println("error:", runErr)
+				continue
+			}
+			fmt.Printf("TPC-H Q%d (%s): %d rows\n", id, q.Name, rows)
+			printBreakdown(b)
+			continue
+		case line == `\tables`:
+			for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+				t, err := e.Table(name)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("  %-10s %8d rows  cols: %s\n", name, t.File.RowCount(), strings.Join(t.Schema().Names(), ", "))
+			}
+			continue
+		}
+
+		stmt, err := sql.Parse(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		plan, err := sql.Plan(e, stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		var rows []value.Row
+		var runErr error
+		b := prof.Profile("query", func() {
+			// Rows are collected (not printed) inside the measured
+			// region, matching the paper's display-disabled runs.
+			rows, runErr = exec.Collect(plan)
+		})
+		if runErr != nil {
+			fmt.Println("error:", runErr)
+			continue
+		}
+		names := plan.Schema().Names()
+		fmt.Println(strings.Join(names, " | "))
+		for i, r := range rows {
+			if i >= *maxRows {
+				fmt.Printf("... (%d more)\n", len(rows)-i)
+				break
+			}
+			cells := make([]string, len(r))
+			for j, v := range r {
+				cells[j] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(rows))
+		printBreakdown(b)
+	}
+}
+
+func printBreakdown(b core.Breakdown) {
+	fmt.Printf("energy: Eactive=%.4gJ  L1D=%.1f%% Reg2L1D=%.1f%% L2=%.1f%% L3=%.1f%% mem=%.1f%% pf=%.1f%% stall=%.1f%% other=%.1f%%\n\n",
+		b.EActive,
+		b.Share(core.CompL1D)*100, b.Share(core.CompReg2L1D)*100,
+		b.Share(core.CompL2)*100, b.Share(core.CompL3)*100,
+		b.Share(core.CompMem)*100, b.Share(core.CompPf)*100,
+		b.Share(core.CompStall)*100, b.Share(core.CompOther)*100)
+}
+
+func parseKind(s string) (engine.Kind, error) {
+	switch strings.ToLower(s) {
+	case "postgresql", "postgres", "pg":
+		return engine.PostgreSQL, nil
+	case "sqlite":
+		return engine.SQLite, nil
+	case "mysql":
+		return engine.MySQL, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}
+
+func parseClass(s string) (tpch.SizeClass, error) {
+	for _, c := range []tpch.SizeClass{tpch.Size10MB, tpch.Size100MB, tpch.Size500MB, tpch.Size1GB} {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class %q", s)
+}
+
+func parseSetting(s string) (engine.Setting, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return engine.SettingSmall, nil
+	case "baseline":
+		return engine.SettingBaseline, nil
+	case "large":
+		return engine.SettingLarge, nil
+	}
+	return 0, fmt.Errorf("unknown setting %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbshell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/memsim"
+	"energydb/internal/rapl"
+)
+
+// Component indexes the Active-energy breakdown components in the order the
+// paper's figures stack them: E_L1D, E_Reg2L1D, E_L2, E_L3, E_mem, E_pf,
+// E_stall, E_other.
+type Component int
+
+// Breakdown components.
+const (
+	CompL1D Component = iota
+	CompReg2L1D
+	CompL2
+	CompL3
+	CompMem
+	CompPf
+	CompStall
+	CompOther
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"E_L1D", "E_Reg2L1D", "E_L2", "E_L3", "E_mem", "E_pf", "E_stall", "E_other",
+}
+
+// String returns the paper's label for the component.
+func (c Component) String() string {
+	if c < 0 || c >= NumComponents {
+		return "unknown"
+	}
+	return componentNames[c]
+}
+
+// Components lists all breakdown components in figure order.
+func Components() []Component {
+	out := make([]Component, NumComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Breakdown is the Eq. 1 decomposition of one workload's measured energy.
+type Breakdown struct {
+	// Name labels the workload.
+	Name string
+	// Joules holds the absolute energy per component. E_other is the
+	// residual: measured Active energy minus the modelled terms.
+	Joules [NumComponents]float64
+	// EActive is the measured Active energy (busy minus background).
+	EActive float64
+	// EBusy is the measured Busy-CPU energy.
+	EBusy float64
+	// EBackground is the background energy over the run.
+	EBackground float64
+	// Seconds is the workload duration.
+	Seconds float64
+	// Counters is the PMU delta for the run.
+	Counters memsim.Counters
+}
+
+// Share returns the component's fraction of Active energy, in [0, 1].
+func (b *Breakdown) Share(c Component) float64 {
+	if b.EActive <= 0 {
+		return 0
+	}
+	return b.Joules[c] / b.EActive
+}
+
+// Shares returns all component shares in figure order.
+func (b *Breakdown) Shares() [NumComponents]float64 {
+	var out [NumComponents]float64
+	for i := range out {
+		out[i] = b.Share(Component(i))
+	}
+	return out
+}
+
+// L1DShare returns the paper's headline metric: (E_L1D + E_Reg2L1D) as a
+// fraction of Active energy (39%–67% for database query workloads).
+func (b *Breakdown) L1DShare() float64 {
+	return b.Share(CompL1D) + b.Share(CompReg2L1D)
+}
+
+// DataMovementShare returns the fraction of Active energy explained by the
+// seven MS micro-operations (55%–76.4% for query workloads in Section 3).
+func (b *Breakdown) DataMovementShare() float64 {
+	return 1 - b.Share(CompOther)
+}
+
+// BrokenDownBusyShare returns the fraction of Busy-CPU energy the method
+// explains: data-movement energy plus background (77.7%–89.2% in Section 3).
+func (b *Breakdown) BrokenDownBusyShare() float64 {
+	if b.EBusy <= 0 {
+		return 0
+	}
+	modelled := b.EActive - b.Joules[CompOther]
+	return (modelled + b.EBackground) / b.EBusy
+}
+
+// BackgroundShare returns background energy over Busy-CPU energy
+// (47.2%–51.7% in the paper's experiments).
+func (b *Breakdown) BackgroundShare() float64 {
+	if b.EBusy <= 0 {
+		return 0
+	}
+	return b.EBackground / b.EBusy
+}
+
+// String renders a one-line summary.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: Eactive=%.3fJ", b.Name, b.EActive)
+	for _, c := range Components() {
+		fmt.Fprintf(&sb, " %s=%.1f%%", c, b.Share(c)*100)
+	}
+	return sb.String()
+}
+
+// BreakdownCounters applies Eq. 1 to an event-count delta and a measured
+// Active energy, producing the component decomposition. The residual after
+// the seven modelled terms is E_other (calculation, L1I, TLB, …).
+func (c *Calibration) BreakdownCounters(name string, ctr memsim.Counters, eActive float64) Breakdown {
+	d := c.DeltaE
+	b := Breakdown{Name: name, EActive: eActive, Counters: ctr}
+	b.Joules[CompL1D] = nanoToJoules(d.L1D * float64(ctr.L1DAccesses))
+	b.Joules[CompReg2L1D] = nanoToJoules(d.Reg2L1D * float64(ctr.StoreL1DHits))
+	b.Joules[CompL2] = nanoToJoules(d.L2 * float64(ctr.L2Accesses))
+	b.Joules[CompL3] = nanoToJoules(d.L3 * float64(ctr.L3Accesses))
+	b.Joules[CompMem] = nanoToJoules(d.Mem * float64(ctr.MemAccesses))
+	b.Joules[CompPf] = nanoToJoules(d.PfL2*float64(ctr.PrefetchL2) + d.PfL3*float64(ctr.PrefetchL3))
+	b.Joules[CompStall] = nanoToJoules(d.Stall * float64(ctr.StallCycles))
+	modelled := 0.0
+	for i := CompL1D; i < CompOther; i++ {
+		modelled += b.Joules[i]
+	}
+	b.Joules[CompOther] = eActive - modelled
+	if b.Joules[CompOther] < 0 {
+		b.Joules[CompOther] = 0
+	}
+	return b
+}
+
+// Profiler measures workloads and breaks their energy down with a
+// calibration, the way Section 3 profiles database systems: prefetchers on,
+// fixed P-state, energy observed as package+dram (query workloads touch
+// main memory), background subtracted.
+type Profiler struct {
+	M     *cpusim.Machine
+	Meter *rapl.Meter
+	Cal   *Calibration
+}
+
+// NewProfiler bundles a machine, meter and calibration.
+func NewProfiler(m *cpusim.Machine, meter *rapl.Meter, cal *Calibration) *Profiler {
+	return &Profiler{M: m, Meter: meter, Cal: cal}
+}
+
+// Profile runs fn with the hardware prefetcher enabled and returns the
+// Eq. 1 breakdown of its measured Active energy.
+func (p *Profiler) Profile(name string, fn func()) Breakdown {
+	p.M.Hier.SetPrefetchEnabled(true)
+	start := p.M.Hier.Counters()
+	sess := p.Meter.Begin()
+	fn()
+	meas := sess.End()
+	ctr := p.M.Hier.Counters().Sub(start)
+
+	busy := meas.Energy.Package + meas.Energy.DRAM
+	bg := (p.Cal.Background.Package + p.Cal.Background.DRAM) * meas.Seconds
+	b := p.Cal.BreakdownCounters(name, ctr, busy-bg)
+	b.EBusy = busy
+	b.EBackground = bg
+	b.Seconds = meas.Seconds
+	return b
+}
+
+// AverageBreakdown combines several breakdowns into one averaged vector
+// (used for the paper's Figures 8, 9 and 11, which show per-database
+// averages over the 22 TPC-H queries). Energies are summed, so the average
+// is energy-weighted, and shares renormalize over the summed Active energy.
+func AverageBreakdown(name string, bs []Breakdown) Breakdown {
+	out := Breakdown{Name: name}
+	for _, b := range bs {
+		for i := range out.Joules {
+			out.Joules[i] += b.Joules[i]
+		}
+		out.EActive += b.EActive
+		out.EBusy += b.EBusy
+		out.EBackground += b.EBackground
+		out.Seconds += b.Seconds
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package cpu2006
+
+import (
+	"testing"
+
+	"energydb/internal/cpusim"
+)
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range Workloads() {
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		m.Hier.SetPrefetchEnabled(true)
+		w.Run(m, 0.02)
+		c := m.Hier.Counters()
+		if c.Instructions() == 0 {
+			t.Errorf("%s executed nothing", w.Name)
+		}
+		if c.Loads == 0 {
+			t.Errorf("%s issued no loads", w.Name)
+		}
+	}
+}
+
+func TestWorkloadCount(t *testing.T) {
+	if n := len(Workloads()); n != 9 {
+		t.Fatalf("workloads = %d, want 9 (Figure 10)", n)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestMcfAndLibquantumAreMemoryExtreme checks the signature contrast the
+// paper highlights: mcf and libquantum have tiny L1D-hit shares relative to
+// hot-state workloads like perlbench and gobmk.
+func TestMcfAndLibquantumAreMemoryExtreme(t *testing.T) {
+	hitShare := func(name string) float64 {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		m.Hier.SetPrefetchEnabled(true)
+		w.Run(m, 0.05)
+		c := m.Hier.Counters()
+		if c.L1DAccesses == 0 {
+			t.Fatalf("%s made no L1D accesses", name)
+		}
+		return float64(c.L1DHits) / float64(c.L1DAccesses)
+	}
+	mcf := hitShare("Mcf")
+	lib := hitShare("Libquantum")
+	perl := hitShare("Perlbench")
+	gobmk := hitShare("Gobmk")
+	if mcf > 0.35 {
+		t.Errorf("mcf L1D hit share = %.2f, want low (pointer chase misses)", mcf)
+	}
+	if lib > 0.35 {
+		t.Errorf("libquantum L1D hit share = %.2f, want low (pure streaming)", lib)
+	}
+	if perl < 0.9 || gobmk < 0.9 {
+		t.Errorf("hot-state workloads should hit L1D: perl=%.2f gobmk=%.2f", perl, gobmk)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		w, _ := ByName("Gcc")
+		w.Run(m, 0.02)
+		return m.Hier.Counters().Instructions()
+	}
+	if run() != run() {
+		t.Fatal("kernel runs are not deterministic")
+	}
+}

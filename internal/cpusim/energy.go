@@ -1,0 +1,209 @@
+package cpusim
+
+import (
+	"energydb/internal/memsim"
+)
+
+// MicroOp enumerates the energy-bearing events of the simulator. The first
+// seven are the paper's micro-operation set MS; Add/Nop are the verification
+// instructions; Other, TLBWalk and the TCM ops are "hardware reality" the
+// solver never models directly (they surface as E_other or as measurement
+// error, exactly as on real hardware).
+type MicroOp int
+
+// Micro-operations.
+const (
+	OpL1D      MicroOp = iota // load satisfied by L1D
+	OpL2                      // load moving a line L2 -> L1D
+	OpL3                      // load moving a line L3 -> L2
+	OpMem                     // load moving a line DRAM -> L3
+	OpReg2L1D                 // store completing in L1D
+	OpStall                   // one stalled cycle
+	OpPfL2                    // prefetch fill L3 -> L2
+	OpPfL3                    // prefetch fill DRAM -> L3
+	OpAdd                     // arithmetic instruction
+	OpNop                     // nop instruction
+	OpOther                   // unmodelled instruction (decode/branch/AGU)
+	OpTCMLoad                 // load satisfied by TCM
+	OpTCMStore                // store completing in TCM
+	OpTLBWalk                 // page-crossing translation overhead
+	numMicroOps
+)
+
+var microOpNames = [numMicroOps]string{
+	"L1D", "L2", "L3", "mem", "Reg2L1D", "stall", "pf_L2", "pf_L3",
+	"add", "nop", "other", "tcm_load", "tcm_store", "tlb_walk",
+}
+
+// String returns the conventional name of the op.
+func (m MicroOp) String() string {
+	if m < 0 || m >= numMicroOps {
+		return "unknown"
+	}
+	return microOpNames[m]
+}
+
+// EnergyTable is the machine's ground-truth per-event energy in nanojoules,
+// specified at three anchor P-states and piecewise-linearly interpolated in
+// frequency everywhere else. The Intel table anchors are the paper's
+// Table 2; values below the lowest anchor extrapolate along the low-end
+// slope but never drop below floorFrac of the lowest anchor.
+type EnergyTable struct {
+	// Anchors maps each op to its energy at the anchor states, ordered
+	// to match AnchorStates.
+	Anchors [numMicroOps][3]float64
+	// AnchorStates are the P-states of the anchor columns, descending.
+	AnchorStates [3]PState
+}
+
+const floorFrac = 0.35
+
+// PerOp returns the energy in nanojoules of one occurrence of op at P-state p.
+func (t *EnergyTable) PerOp(op MicroOp, p PState) float64 {
+	a := t.Anchors[op]
+	f := p.FrequencyGHz()
+	f0, f1, f2 := t.AnchorStates[0].FrequencyGHz(), t.AnchorStates[1].FrequencyGHz(), t.AnchorStates[2].FrequencyGHz()
+	var v float64
+	switch {
+	case f >= f0:
+		v = a[0]
+	case f >= f1:
+		v = lerp(f, f1, f0, a[1], a[0])
+	case f >= f2:
+		v = lerp(f, f2, f1, a[2], a[1])
+	default:
+		// Extrapolate below the lowest anchor along the low segment.
+		slope := (a[1] - a[2]) / (f1 - f2)
+		v = a[2] + slope*(f-f2)
+		if floor := a[2] * floorFrac; v < floor {
+			v = floor
+		}
+	}
+	return v
+}
+
+func lerp(x, x0, x1, y0, y1 float64) float64 {
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// DomainEnergy is energy in joules split across the RAPL-style measurement
+// domains of the i7-4790: core (core + L1 + L2), the package extra (L3,
+// prefetch engine, memory controller) and DRAM. Package() is core plus the
+// extra, matching RAPL's nesting.
+type DomainEnergy struct {
+	Core         float64
+	PackageExtra float64
+	DRAM         float64
+}
+
+// Package returns the package-domain energy (which includes the core).
+func (d DomainEnergy) Package() float64 { return d.Core + d.PackageExtra }
+
+// Total returns package + DRAM energy.
+func (d DomainEnergy) Total() float64 { return d.Package() + d.DRAM }
+
+// Add returns d + o.
+func (d DomainEnergy) Add(o DomainEnergy) DomainEnergy {
+	return DomainEnergy{d.Core + o.Core, d.PackageExtra + o.PackageExtra, d.DRAM + o.DRAM}
+}
+
+// memControllerShare is the fraction of a DRAM access's energy charged to
+// the package domain (memory controller) rather than the DRAM domain.
+const memControllerShare = 0.15
+
+const nanojoule = 1e-9
+
+// Active converts an event-count delta into true active energy at P-state p.
+// This is the hidden ground truth that the paper's methodology recovers.
+func (t *EnergyTable) Active(c memsim.Counters, p PState) DomainEnergy {
+	nj := func(op MicroOp, n uint64) float64 { return t.PerOp(op, p) * float64(n) }
+
+	core := nj(OpL1D, c.L1DAccesses) +
+		nj(OpL2, c.L2Accesses) +
+		// The uncountable L1D prefetcher moves lines L2 -> L1D; its
+		// energy is real but no PMU event exposes it (it surfaces as
+		// solver error / E_other, as on the paper's hardware).
+		nj(OpL2, c.UncountedL1DPf) +
+		nj(OpReg2L1D, c.StoreL1DHits) +
+		nj(OpStall, c.StallCycles) +
+		nj(OpAdd, c.AddOps) +
+		nj(OpNop, c.NopOps) +
+		nj(OpOther, c.OtherOps) +
+		nj(OpTCMLoad, c.TCMLoads) +
+		nj(OpTCMStore, c.TCMStores)
+
+	memEnergy := nj(OpMem, c.MemAccesses) + nj(OpPfL3, c.PrefetchL3)
+	pkgExtra := nj(OpL3, c.L3Accesses) +
+		nj(OpPfL2, c.PrefetchL2) +
+		nj(OpTLBWalk, c.PageCrossings) +
+		memEnergy*memControllerShare
+
+	return DomainEnergy{
+		Core:         core * nanojoule,
+		PackageExtra: pkgExtra * nanojoule,
+		DRAM:         memEnergy * (1 - memControllerShare) * nanojoule,
+	}
+}
+
+// IntelEnergyTable returns the i7-4790 ground truth. The MS-set rows at
+// P-states 36/24/12 are exactly the paper's Table 2; add/nop are given at
+// P36 by Table 2 and scaled to lower states like the other core-domain ops;
+// other/TLB/TCM rows are the unmodelled hardware overheads.
+func IntelEnergyTable() *EnergyTable {
+	t := &EnergyTable{AnchorStates: [3]PState{PState36, PState24, PState12}}
+	set := func(op MicroOp, p36, p24, p12 float64) {
+		t.Anchors[op] = [3]float64{p36, p24, p12}
+	}
+	set(OpL1D, 1.30, 0.90, 0.60)
+	set(OpL2, 4.37, 3.25, 1.64)
+	set(OpL3, 6.64, 5.91, 5.33)
+	set(OpMem, 103.1, 99.1, 99.04)
+	set(OpReg2L1D, 2.42, 1.60, 1.10)
+	set(OpStall, 1.72, 1.07, 0.80)
+	// ΔE_pf_L2 = ΔE_L3 and ΔE_pf_L3 = ΔE_mem (Section 2.5.4 assumption,
+	// which holds in this machine's ground truth by construction).
+	set(OpPfL2, 6.64, 5.91, 5.33)
+	set(OpPfL3, 103.1, 99.1, 99.04)
+	set(OpAdd, 1.03, 0.71, 0.48)
+	set(OpNop, 0.65, 0.45, 0.30)
+	set(OpOther, 0.88, 0.61, 0.41)
+	set(OpTCMLoad, 0, 0, 0) // no TCM on the Intel part
+	set(OpTCMStore, 0, 0, 0)
+	// Page-translation overhead is left at zero: on the real part the
+	// walk loads are served from the cache hierarchy and are implicitly
+	// part of the measured load energies, which is where this model's
+	// solver finds them too.
+	set(OpTLBWalk, 0, 0, 0)
+	return t
+}
+
+// ARMEnergyTable returns the ARM1176JZF-S ground truth used by the Section 4
+// proof of concept. Absolute values are far below the Intel part (a ~300MHz
+// embedded core); what matters for the reproduction is the relation between
+// DTCM and L1D access energy, set so that a pure DTCM-resident array
+// traversal measures ~10% below the L1D-resident one — the paper's measured
+// peak saving of DTCM on this board.
+func ARMEnergyTable() *EnergyTable {
+	t := &EnergyTable{AnchorStates: [3]PState{PState12, 10, PStateMin}}
+	set := func(op MicroOp, hi, mid, lo float64) {
+		t.Anchors[op] = [3]float64{hi, mid, lo}
+	}
+	set(OpL1D, 0.42, 0.38, 0.34)
+	set(OpL2, 0, 0, 0)
+	set(OpL3, 0, 0, 0)
+	set(OpMem, 28.5, 27.9, 27.5)
+	set(OpReg2L1D, 0.58, 0.52, 0.47)
+	set(OpStall, 0.34, 0.30, 0.27)
+	set(OpPfL2, 0, 0, 0)
+	set(OpPfL3, 28.5, 27.9, 27.5)
+	set(OpAdd, 0.26, 0.23, 0.21)
+	set(OpNop, 0.16, 0.14, 0.13)
+	set(OpOther, 0.24, 0.21, 0.19)
+	// DTCM access: as fast as L1D, cheaper per access (no tag lookup, no
+	// way muxing). The tcm package's B_DTCM_array micro-benchmark
+	// measures the end-to-end saving.
+	set(OpTCMLoad, 0.336, 0.305, 0.275)
+	set(OpTCMStore, 0.46, 0.42, 0.38)
+	set(OpTLBWalk, 0, 0, 0)
+	return t
+}

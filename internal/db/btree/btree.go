@@ -1,0 +1,298 @@
+// Package btree implements a B+tree over simulated memory. It backs the
+// engines' clustered tables and secondary indexes. Every node carries a
+// simulated address; descents issue dependent (pointer-chasing) loads and
+// leaf scans issue streaming loads, reproducing the locality contrast the
+// paper observes between index scan and table scan (Section 3.3).
+//
+// The tree also supports relocating its top layers into a TCM window — the
+// Section 4.2 co-design places "the root and first few layers of the B-tree
+// of current tables" into DTCM.
+package btree
+
+import (
+	"sort"
+
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// entryBytes is the on-node width of one (key, pointer) entry.
+const entryBytes = 16
+
+// nodeHeaderBytes is the on-node header width.
+const nodeHeaderBytes = 16
+
+// Tree is a B+tree mapping composite keys to row ids.
+type Tree struct {
+	h      *memsim.Hierarchy
+	arena  *memsim.Arena
+	order  int // max children per interior node / entries per leaf
+	root   *node
+	height int
+	size   int
+}
+
+type node struct {
+	addr   uint64
+	leaf   bool
+	keys   []value.Value // first key component only, for ordering
+	full   []value.Row   // full composite keys (leaf only when composite)
+	kids   []*node       // interior
+	rowIDs []int         // leaf
+	next   *node         // leaf chain
+}
+
+// New creates an empty tree whose nodes fit the given page size.
+func New(h *memsim.Hierarchy, arena *memsim.Arena, pageSize int) *Tree {
+	order := (pageSize - nodeHeaderBytes) / entryBytes
+	if order < 8 {
+		order = 8
+	}
+	t := &Tree{h: h, arena: arena, order: order}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	size := nodeHeaderBytes + t.order*entryBytes
+	return &node{
+		addr: t.arena.Alloc(uint64(size), memsim.LineSize),
+		leaf: leaf,
+	}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Order returns the node fanout.
+func (t *Tree) Order() int { return t.order }
+
+// Insert adds (key, rowID). Keys may repeat; entries with equal keys are
+// kept in insertion order. The simulated descent and node writes are issued.
+func (t *Tree) Insert(key value.Value, rowID int) {
+	t.size++
+	split, sep := t.insert(t.root, key, rowID)
+	if split != nil {
+		newRoot := t.newNode(false)
+		newRoot.keys = []value.Value{sep}
+		newRoot.kids = []*node{t.root, split}
+		t.root = newRoot
+		t.height++
+		t.h.StoreRange(newRoot.addr, uint64(nodeHeaderBytes+2*entryBytes))
+	}
+}
+
+func (t *Tree) insert(n *node, key value.Value, rowID int) (*node, value.Value) {
+	t.touchNode(n, len(n.keys))
+	if n.leaf {
+		idx := sort.Search(len(n.keys), func(i int) bool {
+			return value.Compare(n.keys[i], key) > 0
+		})
+		n.keys = insertAt(n.keys, idx, key)
+		n.rowIDs = insertIntAt(n.rowIDs, idx, rowID)
+		t.h.StoreRange(n.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
+		if len(n.keys) <= t.order {
+			return nil, value.Value{}
+		}
+		return t.splitLeaf(n)
+	}
+	idx := sort.Search(len(n.keys), func(i int) bool {
+		return value.Compare(n.keys[i], key) > 0
+	})
+	child := n.kids[idx]
+	split, sep := t.insert(child, key, rowID)
+	if split == nil {
+		return nil, value.Value{}
+	}
+	n.keys = insertAt(n.keys, idx, sep)
+	n.kids = insertNodeAt(n.kids, idx+1, split)
+	t.h.StoreRange(n.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
+	if len(n.kids) <= t.order {
+		return nil, value.Value{}
+	}
+	return t.splitInterior(n)
+}
+
+func (t *Tree) splitLeaf(n *node) (*node, value.Value) {
+	mid := len(n.keys) / 2
+	right := t.newNode(true)
+	right.keys = append(right.keys, n.keys[mid:]...)
+	right.rowIDs = append(right.rowIDs, n.rowIDs[mid:]...)
+	n.keys = n.keys[:mid]
+	n.rowIDs = n.rowIDs[:mid]
+	right.next = n.next
+	n.next = right
+	t.h.StoreRange(right.addr, uint64(nodeHeaderBytes+len(right.keys)*entryBytes))
+	return right, right.keys[0]
+}
+
+func (t *Tree) splitInterior(n *node) (*node, value.Value) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := t.newNode(false)
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.kids = append(right.kids, n.kids[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.kids = n.kids[:mid+1]
+	t.h.StoreRange(right.addr, uint64(nodeHeaderBytes+len(right.keys)*entryBytes))
+	return right, sep
+}
+
+// touchNode simulates reading a node during a descent: a dependent load of
+// the header plus the binary-search probes within the node.
+func (t *Tree) touchNode(n *node, entries int) {
+	t.h.Load(n.addr, true)
+	probes := 1
+	for e := entries; e > 1; e >>= 1 {
+		probes++
+	}
+	for i := 0; i < probes; i++ {
+		off := uint64(nodeHeaderBytes + (i*37%maxInt(entries, 1))*entryBytes)
+		t.h.Load(n.addr+off, true)
+	}
+	t.h.Exec(uint64(probes), memsim.InstrOther) // comparisons
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Seek positions at the first entry with key >= target and returns an
+// iterator. The descent issues dependent loads at each level.
+func (t *Tree) Seek(target value.Value) *Iter {
+	n := t.root
+	for !n.leaf {
+		t.touchNode(n, len(n.keys))
+		// Descend into the leftmost child that can hold target:
+		// duplicates equal to a separator may live in the child left
+		// of it, so the interior search uses >=.
+		idx := sort.Search(len(n.keys), func(i int) bool {
+			return value.Compare(n.keys[i], target) >= 0
+		})
+		n = n.kids[idx]
+	}
+	t.touchNode(n, len(n.keys))
+	idx := sort.Search(len(n.keys), func(i int) bool {
+		return value.Compare(n.keys[i], target) >= 0
+	})
+	it := &Iter{t: t, n: n, idx: idx}
+	// The first >= entry may live in a later leaf.
+	for it.n != nil && it.idx >= len(it.n.keys) {
+		it.n = it.n.next
+		it.idx = 0
+		if it.n != nil {
+			t.h.Load(it.n.addr, true)
+		}
+	}
+	return it
+}
+
+// First returns an iterator at the smallest entry.
+func (t *Tree) First() *Iter {
+	n := t.root
+	for !n.leaf {
+		t.touchNode(n, len(n.keys))
+		n = n.kids[0]
+	}
+	t.touchNode(n, len(n.keys))
+	return &Iter{t: t, n: n}
+}
+
+// Lookup returns the rowIDs of entries equal to key.
+func (t *Tree) Lookup(key value.Value) []int {
+	var out []int
+	for it := t.Seek(key); it.Valid(); it.Next() {
+		if value.Compare(it.Key(), key) != 0 {
+			break
+		}
+		out = append(out, it.RowID())
+	}
+	return out
+}
+
+// Iter walks leaf entries in key order.
+type Iter struct {
+	t   *Tree
+	n   *node
+	idx int
+}
+
+// Valid reports whether the iterator points at an entry.
+func (it *Iter) Valid() bool {
+	return it.n != nil && it.idx < len(it.n.keys)
+}
+
+// Key returns the current key.
+func (it *Iter) Key() value.Value { return it.n.keys[it.idx] }
+
+// RowID returns the current row id.
+func (it *Iter) RowID() int { return it.n.rowIDs[it.idx] }
+
+// Next advances, issuing a streaming load within the leaf and a dependent
+// load when hopping to the next leaf.
+func (it *Iter) Next() {
+	it.idx++
+	if it.idx < len(it.n.keys) {
+		it.t.h.Load(it.n.addr+uint64(nodeHeaderBytes+it.idx*entryBytes), false)
+		return
+	}
+	it.n = it.n.next
+	it.idx = 0
+	if it.n != nil {
+		it.t.h.Load(it.n.addr, true)
+	}
+}
+
+// PlaceTopLevels relocates the root and as many upper levels as fit into
+// addresses drawn from the given allocator (a DTCM arena in the Section 4
+// co-design). It returns the number of nodes moved. Allocation stops when
+// the budget runs out; lower levels keep their ordinary addresses.
+func (t *Tree) PlaceTopLevels(alloc func(size uint64) (uint64, bool)) int {
+	moved := 0
+	levelNodes := []*node{t.root}
+	for len(levelNodes) > 0 {
+		next := make([]*node, 0, len(levelNodes)*4)
+		for _, n := range levelNodes {
+			size := uint64(nodeHeaderBytes + t.order*entryBytes)
+			addr, ok := alloc(size)
+			if !ok {
+				return moved
+			}
+			n.addr = addr
+			moved++
+			if !n.leaf {
+				next = append(next, n.kids...)
+			}
+		}
+		levelNodes = next
+	}
+	return moved
+}
+
+func insertAt(s []value.Value, i int, v value.Value) []value.Value {
+	s = append(s, value.Value{})
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertIntAt(s []int, i, v int) []int {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,184 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+func newTree(t *testing.T, pageSize int) *Tree {
+	t.Helper()
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	arena := memsim.NewArena(1<<33, 512<<20)
+	return New(m.Hier, arena, pageSize)
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := newTree(t, 4096)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(value.Int(int64(i*7%10000)), i)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	ids := tr.Lookup(value.Int(21))
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("lookup(21) = %v, want [3]", ids)
+	}
+	if got := tr.Lookup(value.Int(10001)); got != nil {
+		t.Fatalf("lookup(missing) = %v", got)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t, 4096)
+	for i := 0; i < 100; i++ {
+		tr.Insert(value.Int(42), i)
+	}
+	tr.Insert(value.Int(41), 1000)
+	tr.Insert(value.Int(43), 1001)
+	if got := len(tr.Lookup(value.Int(42))); got != 100 {
+		t.Fatalf("duplicates found = %d, want 100", got)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	tr := newTree(t, 1024)
+	rng := rand.New(rand.NewSource(9))
+	keys := rng.Perm(5000)
+	for i, k := range keys {
+		tr.Insert(value.Int(int64(k)), i)
+	}
+	var got []int64
+	for it := tr.First(); it.Valid(); it.Next() {
+		got = append(got, it.Key().I)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("iterated %d entries", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration out of order")
+	}
+}
+
+func TestSeekRange(t *testing.T) {
+	tr := newTree(t, 1024)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(value.Int(int64(i*2)), i) // even keys 0..1998
+	}
+	it := tr.Seek(value.Int(501)) // first key >= 501 is 502
+	if !it.Valid() || it.Key().I != 502 {
+		t.Fatalf("seek(501) at %v", it.Key())
+	}
+	count := 0
+	for ; it.Valid() && it.Key().I <= 600; it.Next() {
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("range [502, 600] has %d entries, want 50", count)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := newTree(t, 1024) // order = (1024-16)/16 = 63
+	for i := 0; i < 100000; i++ {
+		tr.Insert(value.Int(int64(i)), i)
+	}
+	if h := tr.Height(); h < 2 || h > 4 {
+		t.Fatalf("height = %d for 100k entries at order %d", h, tr.Order())
+	}
+}
+
+func TestDescentIssuesDependentLoads(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	arena := memsim.NewArena(1<<33, 512<<20)
+	tr := New(m.Hier, arena, 4096)
+	for i := 0; i < 50000; i++ {
+		tr.Insert(value.Int(int64(i)), i)
+	}
+	before := m.Hier.Counters()
+	tr.Lookup(value.Int(33333))
+	d := m.Hier.Counters().Sub(before)
+	if d.Loads == 0 {
+		t.Fatal("lookup issued no loads")
+	}
+	// Pointer chasing means stalls: at least one stall cycle per level.
+	if d.StallCycles < uint64(tr.Height()) {
+		t.Fatalf("lookup stalled %d cycles over %d levels", d.StallCycles, tr.Height())
+	}
+}
+
+func TestPlaceTopLevels(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	arena := memsim.NewArena(1<<33, 512<<20)
+	tr := New(m.Hier, arena, 4096)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(value.Int(int64(i)), i)
+	}
+	// A 12KB budget holds the root plus part of the next level.
+	budget := uint64(12 << 10)
+	used := uint64(0)
+	moved := tr.PlaceTopLevels(func(size uint64) (uint64, bool) {
+		if used+size > budget {
+			return 0, false
+		}
+		addr := uint64(0x1000_0000) + used
+		used += size
+		return addr, true
+	})
+	if moved == 0 {
+		t.Fatal("no nodes moved")
+	}
+	if tr.root.addr < 0x1000_0000 {
+		t.Fatal("root not relocated")
+	}
+	// Tree still works after relocation.
+	if ids := tr.Lookup(value.Int(777)); len(ids) != 1 || ids[0] != 777 {
+		t.Fatalf("lookup after relocation = %v", ids)
+	}
+}
+
+func TestPropertyInsertedKeysFound(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		count := int(n%500) + 1
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		tr := New(m.Hier, memsim.NewArena(1<<33, 64<<20), 512)
+		rng := rand.New(rand.NewSource(seed))
+		want := make(map[int64][]int)
+		for i := 0; i < count; i++ {
+			k := int64(rng.Intn(100))
+			tr.Insert(value.Int(k), i)
+			want[k] = append(want[k], i)
+		}
+		for k, ids := range want {
+			got := tr.Lookup(value.Int(k))
+			if len(got) != len(ids) {
+				return false
+			}
+		}
+		return tr.Len() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := newTree(t, 1024)
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, w := range words {
+		tr.Insert(value.Str(w), i)
+	}
+	it := tr.First()
+	if it.Key().S != "alpha" {
+		t.Fatalf("first key = %q", it.Key().S)
+	}
+	if ids := tr.Lookup(value.Str("charlie")); len(ids) != 1 || ids[0] != 4 {
+		t.Fatalf("lookup(charlie) = %v", ids)
+	}
+}

@@ -1,0 +1,106 @@
+// Package catalog holds schemas and table metadata shared by the storage
+// layer and the executor.
+package catalog
+
+import (
+	"fmt"
+
+	"energydb/internal/db/value"
+)
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Type value.Type
+	// Width is the on-page width in bytes. Numeric columns are 8 bytes;
+	// string columns are fixed-width (TPC-H style CHAR/VARCHAR budgets).
+	Width int
+}
+
+// Schema is an ordered column list.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema, defaulting widths for numeric columns.
+func NewSchema(cols ...Column) *Schema {
+	for i := range cols {
+		if cols[i].Width == 0 {
+			switch cols[i].Type {
+			case value.TypeStr:
+				cols[i].Width = 16
+			default:
+				cols[i].Width = 8
+			}
+		}
+	}
+	return &Schema{Columns: cols}
+}
+
+// RowWidth returns the fixed on-page row width in bytes.
+func (s *Schema) RowWidth() int {
+	w := 0
+	for _, c := range s.Columns {
+		w += c.Width
+	}
+	return w
+}
+
+// ColIndex returns the position of the named column, or an error.
+func (s *Schema) ColIndex(name string) (int, error) {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("catalog: no column %q", name)
+}
+
+// MustColIndex is ColIndex for statically-known names.
+func (s *Schema) MustColIndex(name string) int {
+	i, err := s.ColIndex(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// ColOffset returns the byte offset of column i within the row.
+func (s *Schema) ColOffset(i int) int {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += s.Columns[j].Width
+	}
+	return off
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns a schema with the selected columns.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Columns[j]
+	}
+	return &Schema{Columns: cols}
+}
+
+// Concat returns the schema of a join output: s's columns then o's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(o.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, o.Columns...)
+	return &Schema{Columns: cols}
+}
+
+// TableStats carries basic optimizer statistics.
+type TableStats struct {
+	RowCount int
+}

@@ -1,0 +1,83 @@
+package catalog
+
+import (
+	"testing"
+
+	"energydb/internal/db/value"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "id", Type: value.TypeInt},
+		Column{Name: "name", Type: value.TypeStr, Width: 24},
+		Column{Name: "amount", Type: value.TypeFloat},
+	)
+}
+
+func TestDefaultWidths(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "i", Type: value.TypeInt},
+		Column{Name: "s", Type: value.TypeStr},
+		Column{Name: "d", Type: value.TypeDate},
+	)
+	if s.Columns[0].Width != 8 || s.Columns[1].Width != 16 || s.Columns[2].Width != 8 {
+		t.Fatalf("default widths = %v", s.Columns)
+	}
+}
+
+func TestRowWidthAndOffsets(t *testing.T) {
+	s := testSchema()
+	if s.RowWidth() != 8+24+8 {
+		t.Fatalf("row width = %d", s.RowWidth())
+	}
+	if s.ColOffset(0) != 0 || s.ColOffset(1) != 8 || s.ColOffset(2) != 32 {
+		t.Fatalf("offsets = %d %d %d", s.ColOffset(0), s.ColOffset(1), s.ColOffset(2))
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	s := testSchema()
+	i, err := s.ColIndex("amount")
+	if err != nil || i != 2 {
+		t.Fatalf("ColIndex = %d, %v", i, err)
+	}
+	if _, err := s.ColIndex("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if s.MustColIndex("name") != 1 {
+		t.Fatal("MustColIndex wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustColIndex should panic on missing column")
+		}
+	}()
+	s.MustColIndex("nope")
+}
+
+func TestProjectAndConcat(t *testing.T) {
+	s := testSchema()
+	p := s.Project([]int{2, 0})
+	if len(p.Columns) != 2 || p.Columns[0].Name != "amount" || p.Columns[1].Name != "id" {
+		t.Fatalf("projected = %v", p.Names())
+	}
+	c := s.Concat(p)
+	if len(c.Columns) != 5 || c.Columns[3].Name != "amount" {
+		t.Fatalf("concat = %v", c.Names())
+	}
+	// Concat must not alias the source slices.
+	c.Columns[0].Name = "mutated"
+	if s.Columns[0].Name == "mutated" {
+		t.Fatal("concat aliases the source schema")
+	}
+}
+
+func TestNames(t *testing.T) {
+	got := testSchema().Names()
+	want := []string{"id", "name", "amount"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v", got)
+		}
+	}
+}

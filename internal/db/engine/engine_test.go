@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/value"
+)
+
+func newEngine(t *testing.T, kind Kind, setting Setting) *Engine {
+	t.Helper()
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	return New(kind, m, setting)
+}
+
+func loadSample(t *testing.T, e *Engine, rows int) *Table {
+	t.Helper()
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "k", Type: value.TypeInt},
+		catalog.Column{Name: "grp", Type: value.TypeInt},
+		catalog.Column{Name: "v", Type: value.TypeFloat},
+	)
+	tbl := e.CreateTable("sample", schema)
+	for i := 0; i < rows; i++ {
+		e.Insert(tbl, value.Row{value.Int(int64(i)), value.Int(int64(i % 7)), value.Float(float64(i))})
+	}
+	e.CreateIndex(tbl, "k")
+	return tbl
+}
+
+func TestKnobsMatchTable4(t *testing.T) {
+	// PostgreSQL baseline: shared_buffers 128MB, work_mem 64MB (1:10).
+	k := KnobsFor(PostgreSQL, SettingBaseline)
+	if k.BufferBytes != 128<<20/10 || k.WorkMemBytes != 64<<20/10 {
+		t.Fatalf("PG baseline knobs = %+v", k)
+	}
+	if k.PageBytes != 8<<10 {
+		t.Fatalf("PG page size = %d", k.PageBytes)
+	}
+	// SQLite small: 2000 pages x 4KB.
+	k = KnobsFor(SQLite, SettingSmall)
+	if k.PageBytes != 4<<10 || k.BufferBytes != 2000*(4<<10)/10 {
+		t.Fatalf("SQLite small knobs = %+v", k)
+	}
+	// MySQL large: 16KB pages, 1024MB pool.
+	k = KnobsFor(MySQL, SettingLarge)
+	if k.PageBytes != 16<<10 || k.BufferBytes != 1024<<20/10 {
+		t.Fatalf("MySQL large knobs = %+v", k)
+	}
+	// Settings must be ordered: small < baseline < large.
+	for _, kind := range Kinds() {
+		s := KnobsFor(kind, SettingSmall).BufferBytes
+		b := KnobsFor(kind, SettingBaseline).BufferBytes
+		l := KnobsFor(kind, SettingLarge).BufferBytes
+		if !(s < b && b < l) {
+			t.Errorf("%v buffer knobs not increasing: %d/%d/%d", kind, s, b, l)
+		}
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	e := newEngine(t, SQLite, SettingBaseline)
+	tbl := loadSample(t, e, 500)
+	n, err := e.Run(e.Scan(tbl, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("scanned %d rows", n)
+	}
+}
+
+func TestIndexRange(t *testing.T) {
+	e := newEngine(t, PostgreSQL, SettingBaseline)
+	tbl := loadSample(t, e, 500)
+	lo, hi := value.Int(100), value.Int(199)
+	plan, err := e.IndexRange(tbl, "k", &lo, &hi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("index range returned %d rows, want 100", n)
+	}
+	if _, err := e.IndexRange(tbl, "v", nil, nil, nil); err == nil {
+		t.Fatal("expected error for unindexed column")
+	}
+}
+
+func TestJoinStrategyByProfile(t *testing.T) {
+	build := func(kind Kind) exec.Operator {
+		e := newEngine(t, kind, SettingBaseline)
+		tbl := loadSample(t, e, 500)
+		outer := e.Scan(tbl, nil)
+		return e.EquiJoin(outer, 0, tbl, "k", nil)
+	}
+	if _, ok := build(SQLite).(*exec.IndexJoin); !ok {
+		t.Error("SQLite must use the index nested-loop join")
+	}
+	if _, ok := build(PostgreSQL).(*exec.HashJoin); !ok {
+		t.Error("PostgreSQL should hash-join a 500-row inner table")
+	}
+	if _, ok := build(MySQL).(*exec.HashJoin); !ok {
+		t.Error("MySQL should hash-join a 500-row inner table")
+	}
+}
+
+func TestSmallInnerTableUsesIndexJoinEverywhere(t *testing.T) {
+	e := newEngine(t, PostgreSQL, SettingBaseline)
+	tbl := loadSample(t, e, 20) // below joinHashThreshold
+	outer := e.Scan(tbl, nil)
+	if _, ok := e.EquiJoin(outer, 0, tbl, "k", nil).(*exec.IndexJoin); !ok {
+		t.Error("small inner tables should index-join even on PostgreSQL")
+	}
+}
+
+func TestJoinStrategiesAgreeOnResults(t *testing.T) {
+	counts := map[Kind]int{}
+	for _, kind := range Kinds() {
+		e := newEngine(t, kind, SettingBaseline)
+		tbl := loadSample(t, e, 300)
+		outer := e.Scan(tbl, nil)
+		j := e.EquiJoin(outer, 1 /* grp */, tbl, "k", nil)
+		n, err := e.Run(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[kind] = n
+	}
+	if counts[SQLite] != counts[PostgreSQL] || counts[MySQL] != counts[PostgreSQL] {
+		t.Fatalf("join results differ across engines: %v", counts)
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	e := newEngine(t, MySQL, SettingSmall)
+	if _, err := e.Table("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestKindAndSettingStrings(t *testing.T) {
+	if PostgreSQL.String() != "PostgreSQL" || SQLite.String() != "SQLite" || MySQL.String() != "MySQL" {
+		t.Fatal("kind names wrong")
+	}
+	if SettingSmall.String() != "small" || SettingBaseline.String() != "baseline" || SettingLarge.String() != "large" {
+		t.Fatal("setting names wrong")
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	e := newEngine(t, PostgreSQL, SettingBaseline)
+	tbl := loadSample(t, e, 400)
+	n, err := e.UpdateWhere(tbl,
+		exec.BinOp{Op: exec.OpLt, L: exec.Col{Idx: 0}, R: exec.Const{V: value.Int(100)}},
+		func(r value.Row) value.Row {
+			r[2] = value.Float(r[2].AsFloat() + 1000)
+			return r
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("updated %d rows, want 100", n)
+	}
+	// Values visible through a scan.
+	rows, err := exec.Collect(e.Scan(tbl, exec.BinOp{Op: exec.OpGe,
+		L: exec.Col{Idx: 2}, R: exec.Const{V: value.Float(1000)}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("scan sees %d updated rows, want 100", len(rows))
+	}
+	// WAL recorded the statement.
+	if e.WAL() == nil || e.WAL().Records == 0 || e.WAL().Syncs == 0 {
+		t.Fatalf("WAL not written: %+v", e.WAL())
+	}
+	// Dirty pages exist until checkpoint.
+	if e.Pool.DirtyCount() == 0 {
+		t.Fatal("no dirty pages after updates")
+	}
+	written := e.Checkpoint()
+	if written == 0 || e.Pool.DirtyCount() != 0 {
+		t.Fatalf("checkpoint wrote %d, dirty left %d", written, e.Pool.DirtyCount())
+	}
+}
+
+func TestUpdateWhereRejectsIndexedColumn(t *testing.T) {
+	e := newEngine(t, SQLite, SettingBaseline)
+	tbl := loadSample(t, e, 50)
+	_, err := e.UpdateWhere(tbl, nil, func(r value.Row) value.Row {
+		r[0] = value.Int(r[0].AsInt() + 1) // k is indexed
+		return r
+	})
+	if err == nil {
+		t.Fatal("expected error for indexed-column update")
+	}
+}
+
+func TestJournalModesByProfile(t *testing.T) {
+	if newEngine(t, SQLite, SettingSmall).Journal() != JournalRollback {
+		t.Fatal("SQLite should use the rollback journal")
+	}
+	if newEngine(t, PostgreSQL, SettingSmall).Journal() != JournalWAL {
+		t.Fatal("PostgreSQL should use WAL")
+	}
+}
+
+func TestRollbackJournalCopiesPagesOnce(t *testing.T) {
+	e := newEngine(t, SQLite, SettingBaseline)
+	tbl := loadSample(t, e, 400)
+	if _, err := e.UpdateWhere(tbl, nil, func(r value.Row) value.Row {
+		r[2] = value.Float(0)
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rollback journal: one record per touched page, not per row.
+	pages := uint64(tbl.File.PageCount())
+	if got := e.WAL().Records; got != pages {
+		t.Fatalf("journal records = %d, want one per page (%d)", got, pages)
+	}
+}

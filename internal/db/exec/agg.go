@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregates.
+const (
+	AggSum AggKind = iota
+	AggAvg
+	AggCount
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "unknown"
+	}
+}
+
+// AggSpec is one aggregate output.
+type AggSpec struct {
+	Kind AggKind
+	// Arg is the aggregated expression (ignored for Count when nil).
+	Arg  Expr
+	Name string
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	sum   float64
+	count int64
+	min   value.Value
+	max   value.Value
+}
+
+func (a *aggState) update(v value.Value) {
+	a.count++
+	a.sum += v.AsFloat()
+	if a.min.IsNull() || value.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || value.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result(k AggKind) value.Value {
+	switch k {
+	case AggSum:
+		return value.Float(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return value.Null()
+		}
+		return value.Float(a.sum / float64(a.count))
+	case AggCount:
+		return value.Int(a.count)
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	default:
+		return value.Null()
+	}
+}
+
+// GroupBy is a hash aggregation: group keys are hashed into a simulated
+// table; each input row probes (dependent load) and updates (store) its
+// group's accumulators. With no group keys it degenerates to a single-group
+// scalar aggregate.
+type GroupBy struct {
+	Ctx      *Ctx
+	Child    Operator
+	GroupBy  []Expr
+	Aggs     []AggSpec
+	GroupCap int // optional hint for the hash-table size
+
+	schema *catalog.Schema
+	groups []value.Row
+	pos    int
+}
+
+// Schema implements Operator.
+func (g *GroupBy) Schema() *catalog.Schema {
+	if g.schema == nil {
+		cols := make([]catalog.Column, 0, len(g.GroupBy)+len(g.Aggs))
+		for i := range g.GroupBy {
+			cols = append(cols, catalog.Column{
+				Name: fmt.Sprintf("g%d", i), Type: value.TypeStr, Width: 16,
+			})
+		}
+		for _, a := range g.Aggs {
+			name := a.Name
+			if name == "" {
+				name = a.Kind.String()
+			}
+			cols = append(cols, catalog.Column{Name: name, Type: value.TypeFloat, Width: 8})
+		}
+		g.schema = catalog.NewSchema(cols...)
+	}
+	return g.schema
+}
+
+// Open implements Operator: consumes the child and builds the groups.
+func (g *GroupBy) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	defer g.Child.Close()
+
+	cap := g.GroupCap
+	if cap <= 0 {
+		cap = 1024
+	}
+	tableSize := uint64(cap) * hashBucketBytes * 2
+	tableBase := g.Ctx.Arena.Alloc(tableSize, memsim.PageSize)
+	h := g.Ctx.M.Hier
+
+	type group struct {
+		keyVals []value.Value
+		states  []aggState
+	}
+	groups := make(map[value.Key]*group)
+	var order []*group
+
+	keyNodes := 0
+	for _, e := range g.GroupBy {
+		keyNodes += e.Nodes()
+	}
+	argNodes := 0
+	for _, a := range g.Aggs {
+		if a.Arg != nil {
+			argNodes += a.Arg.Nodes()
+		}
+	}
+
+	for {
+		row, ok, err := g.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		g.Ctx.TupleCost()
+		g.Ctx.EvalCost(keyNodes + argNodes)
+		keyVals := make([]value.Value, len(g.GroupBy))
+		for i, e := range g.GroupBy {
+			keyVals[i] = e.Eval(row)
+		}
+		key := value.MakeKey(keyVals...)
+		g.Ctx.Compute(2) // hash
+		slot := tableBase + key.Hash()%tableSize
+		h.Load(slot, true) // bucket probe
+		grp, found := groups[key]
+		if !found {
+			grp = &group{keyVals: keyVals, states: make([]aggState, len(g.Aggs))}
+			groups[key] = grp
+			order = append(order, grp)
+			h.Store(slot) // insert bucket entry
+		}
+		// Accumulator update: load + arithmetic + store.
+		h.Load(slot+hashBucketBytes, true)
+		for i, a := range g.Aggs {
+			v := value.Int(1)
+			if a.Arg != nil {
+				v = a.Arg.Eval(row)
+			}
+			grp.states[i].update(v)
+			g.Ctx.Compute(1)
+		}
+		h.Store(slot + hashBucketBytes)
+	}
+
+	g.groups = make([]value.Row, len(order))
+	for i, grp := range order {
+		out := make(value.Row, 0, len(grp.keyVals)+len(g.Aggs))
+		out = append(out, grp.keyVals...)
+		for k, a := range g.Aggs {
+			out = append(out, grp.states[k].result(a.Kind))
+		}
+		g.groups[i] = out
+	}
+	g.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (g *GroupBy) Next() (value.Row, bool, error) {
+	if g.pos >= len(g.groups) {
+		return nil, false, nil
+	}
+	row := g.groups[g.pos]
+	g.pos++
+	g.Ctx.EmitRow(len(row) * 8)
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (g *GroupBy) Close() error {
+	g.groups = nil
+	return nil
+}

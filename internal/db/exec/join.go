@@ -1,0 +1,272 @@
+package exec
+
+import (
+	"energydb/internal/db/btree"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/storage"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// hashBucketBytes is the simulated size of one hash-table bucket entry.
+const hashBucketBytes = 16
+
+// HashJoin builds a hash table on the build side and probes it with the
+// probe side (PostgreSQL/MySQL-style equijoin). Build stores and probe
+// chains are simulated: probes are dependent loads into a table that is
+// usually larger than L1D, one of the ways complex executors shift energy
+// away from the L1D cache (Section 3.3).
+type HashJoin struct {
+	Ctx      *Ctx
+	Build    Operator
+	Probe    Operator
+	BuildKey []int
+	ProbeKey []int
+	// Residual is an optional non-equi predicate over the joined row.
+	Residual Expr
+
+	schema    *catalog.Schema
+	table     map[value.Key][]value.Row
+	tableBase uint64
+	tableSize uint64
+	probeRow  value.Row
+	matches   []value.Row
+	matchIdx  int
+	out       value.Row
+	resNodes  int
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *catalog.Schema {
+	if j.schema == nil {
+		j.schema = j.Probe.Schema().Concat(j.Build.Schema())
+	}
+	return j.schema
+}
+
+// Open implements Operator: drains the build side into the hash table.
+func (j *HashJoin) Open() error {
+	rows, err := Collect(j.Build)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[value.Key][]value.Row, len(rows))
+	j.tableSize = uint64(len(rows)+1) * hashBucketBytes * 2
+	j.tableBase = j.Ctx.Arena.Alloc(j.tableSize, memsim.PageSize)
+	h := j.Ctx.M.Hier
+	for i, r := range rows {
+		key := joinKey(r, j.BuildKey)
+		j.table[key] = append(j.table[key], r)
+		// Hash, bucket write, entry write.
+		j.Ctx.Compute(3)
+		slot := j.tableBase + uint64(i)*hashBucketBytes*2%j.tableSize
+		h.Load(slot, true)
+		h.Store(slot)
+	}
+	if j.Residual != nil {
+		j.resNodes = j.Residual.Nodes()
+	}
+	return j.Probe.Open()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (value.Row, bool, error) {
+	h := j.Ctx.M.Hier
+	for {
+		if j.matchIdx < len(j.matches) {
+			b := j.matches[j.matchIdx]
+			j.matchIdx++
+			// Walking the bucket chain is a pointer chase.
+			h.Load(j.tableBase+uint64(j.matchIdx)*hashBucketBytes%j.tableSize, true)
+			if j.out == nil {
+				j.out = make(value.Row, 0, len(j.probeRow)+len(b))
+			}
+			j.out = append(j.out[:0], j.probeRow...)
+			j.out = append(j.out, b...)
+			j.Ctx.TupleCost()
+			if j.Residual != nil {
+				j.Ctx.EvalCost(j.resNodes)
+				if !Truthy(j.Residual.Eval(j.out)) {
+					continue
+				}
+			}
+			j.Ctx.EmitRow(len(j.out) * 8)
+			return j.out, true, nil
+		}
+		row, ok, err := j.Probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.probeRow = row.Clone()
+		key := joinKey(row, j.ProbeKey)
+		j.Ctx.Compute(2) // hash the probe key
+		// Bucket head probe: dependent load.
+		h.Load(j.tableBase+key.Hash()%j.tableSize, true)
+		j.matches = j.table[key]
+		j.matchIdx = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Probe.Close()
+}
+
+// IndexJoin is an index nested-loop join: for each outer row it descends
+// the inner table's index and fetches matching rows — SQLite's only join
+// strategy and the preferred plan for selective joins elsewhere.
+type IndexJoin struct {
+	Ctx      *Ctx
+	Outer    Operator
+	Inner    *storage.HeapFile
+	Index    *btree.Tree
+	OuterKey int
+	// Residual filters the concatenated row.
+	Residual Expr
+
+	schema   *catalog.Schema
+	outerRow value.Row
+	matches  []int
+	matchIdx int
+	out      value.Row
+	resNodes int
+}
+
+// Schema implements Operator.
+func (j *IndexJoin) Schema() *catalog.Schema {
+	if j.schema == nil {
+		j.schema = j.Outer.Schema().Concat(j.Inner.Schema())
+	}
+	return j.schema
+}
+
+// Open implements Operator.
+func (j *IndexJoin) Open() error {
+	if j.Residual != nil {
+		j.resNodes = j.Residual.Nodes()
+	}
+	return j.Outer.Open()
+}
+
+// Next implements Operator.
+func (j *IndexJoin) Next() (value.Row, bool, error) {
+	for {
+		if j.matchIdx < len(j.matches) {
+			id := j.matches[j.matchIdx]
+			j.matchIdx++
+			inner, err := j.Inner.ReadRow(id, false)
+			if err != nil {
+				return nil, false, err
+			}
+			if j.out == nil {
+				j.out = make(value.Row, 0, len(j.outerRow)+len(inner))
+			}
+			j.out = append(j.out[:0], j.outerRow...)
+			j.out = append(j.out, inner...)
+			j.Ctx.TupleCost()
+			if j.Residual != nil {
+				j.Ctx.EvalCost(j.resNodes)
+				if !Truthy(j.Residual.Eval(j.out)) {
+					continue
+				}
+			}
+			j.Ctx.EmitRow(len(j.out) * 8)
+			return j.out, true, nil
+		}
+		row, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.outerRow = row.Clone()
+		j.matches = j.Index.Lookup(row[j.OuterKey])
+		j.matchIdx = 0
+	}
+}
+
+// Close implements Operator.
+func (j *IndexJoin) Close() error { return j.Outer.Close() }
+
+// NestedLoopJoin materializes the inner side once and rescans it per outer
+// row, applying the predicate to the concatenated row. It handles non-equi
+// joins and is the fallback when no index exists.
+type NestedLoopJoin struct {
+	Ctx   *Ctx
+	Outer Operator
+	Inner Operator
+	Pred  Expr
+
+	schema    *catalog.Schema
+	inner     *MemTable
+	outerRow  value.Row
+	innerIdx  int
+	out       value.Row
+	predNodes int
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *catalog.Schema {
+	if j.schema == nil {
+		j.schema = j.Outer.Schema().Concat(j.Inner.Schema())
+	}
+	return j.schema
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	rows, err := Collect(j.Inner)
+	if err != nil {
+		return err
+	}
+	j.inner = NewMemTable(j.Ctx, j.Inner.Schema(), rows)
+	if j.Pred != nil {
+		j.predNodes = j.Pred.Nodes()
+	}
+	j.innerIdx = 0
+	j.outerRow = nil
+	return j.Outer.Open()
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (value.Row, bool, error) {
+	for {
+		if j.outerRow == nil {
+			row, ok, err := j.Outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.outerRow = row.Clone()
+			j.innerIdx = 0
+		}
+		for j.innerIdx < j.inner.Len() {
+			inner := j.inner.Row(j.innerIdx)
+			j.innerIdx++
+			if j.out == nil {
+				j.out = make(value.Row, 0, len(j.outerRow)+len(inner))
+			}
+			j.out = append(j.out[:0], j.outerRow...)
+			j.out = append(j.out, inner...)
+			j.Ctx.TupleCost()
+			if j.Pred != nil {
+				j.Ctx.EvalCost(j.predNodes)
+				if !Truthy(j.Pred.Eval(j.out)) {
+					continue
+				}
+			}
+			j.Ctx.EmitRow(len(j.out) * 8)
+			return j.out, true, nil
+		}
+		j.outerRow = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error { return j.Outer.Close() }
+
+func joinKey(r value.Row, idx []int) value.Key {
+	vals := make([]value.Value, len(idx))
+	for i, j := range idx {
+		vals[i] = r[j]
+	}
+	return value.MakeKey(vals...)
+}

@@ -1,0 +1,340 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/db/btree"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/storage"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// Operator is a Volcano iterator.
+type Operator interface {
+	Schema() *catalog.Schema
+	Open() error
+	Next() (value.Row, bool, error)
+	Close() error
+}
+
+// SeqScan streams a heap file in row order, optionally filtering.
+type SeqScan struct {
+	Ctx    *Ctx
+	File   *storage.HeapFile
+	Filter Expr
+
+	sc          *storage.Scanner
+	filterNodes int
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() *catalog.Schema { return s.File.Schema() }
+
+// Open implements Operator.
+func (s *SeqScan) Open() error {
+	s.sc = s.File.Scan()
+	if s.Filter != nil {
+		s.filterNodes = s.Filter.Nodes()
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *SeqScan) Next() (value.Row, bool, error) {
+	for {
+		row, _, ok := s.sc.Next()
+		if !ok {
+			return nil, false, nil
+		}
+		s.Ctx.TupleCost()
+		if s.Filter != nil {
+			s.Ctx.EvalCost(s.filterNodes)
+			if !Truthy(s.Filter.Eval(row)) {
+				continue
+			}
+		}
+		s.Ctx.EmitRow(s.File.Schema().RowWidth())
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error { return nil }
+
+// IndexScan walks an index range [Lo, Hi] (inclusive bounds; nil means
+// unbounded) and fetches matching heap rows in index order — random heap
+// access with pointer-chasing loads, the weak-locality pattern of
+// Section 3.3's index-scan analysis.
+type IndexScan struct {
+	Ctx  *Ctx
+	File *storage.HeapFile
+	Tree *btree.Tree
+	Lo   *value.Value
+	Hi   *value.Value
+	// Filter applies residual predicates after the heap fetch.
+	Filter Expr
+
+	it          *btree.Iter
+	filterNodes int
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *catalog.Schema { return s.File.Schema() }
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	if s.Lo != nil {
+		s.it = s.Tree.Seek(*s.Lo)
+	} else {
+		s.it = s.Tree.First()
+	}
+	if s.Filter != nil {
+		s.filterNodes = s.Filter.Nodes()
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (value.Row, bool, error) {
+	for s.it.Valid() {
+		if s.Hi != nil && value.Compare(s.it.Key(), *s.Hi) > 0 {
+			return nil, false, nil
+		}
+		id := s.it.RowID()
+		s.it.Next()
+		row, err := s.File.ReadRow(id, false)
+		if err != nil {
+			return nil, false, err
+		}
+		s.Ctx.TupleCost()
+		if s.Filter != nil {
+			s.Ctx.EvalCost(s.filterNodes)
+			if !Truthy(s.Filter.Eval(row)) {
+				continue
+			}
+		}
+		s.Ctx.EmitRow(s.File.Schema().RowWidth())
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { return nil }
+
+// Filter drops rows failing the predicate.
+type Filter struct {
+	Ctx   *Ctx
+	Child Operator
+	Pred  Expr
+
+	nodes int
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *catalog.Schema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error {
+	f.nodes = f.Pred.Nodes()
+	return f.Child.Open()
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.Ctx.EvalCost(f.nodes)
+		if Truthy(f.Pred.Eval(row)) {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project computes output expressions per row.
+type Project struct {
+	Ctx   *Ctx
+	Child Operator
+	Exprs []Expr
+	Names []string
+
+	schema *catalog.Schema
+	nodes  int
+	out    value.Row
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *catalog.Schema {
+	if p.schema == nil {
+		cols := make([]catalog.Column, len(p.Exprs))
+		for i := range p.Exprs {
+			name := fmt.Sprintf("col%d", i)
+			if i < len(p.Names) && p.Names[i] != "" {
+				name = p.Names[i]
+			}
+			cols[i] = catalog.Column{Name: name, Type: value.TypeFloat, Width: 8}
+		}
+		p.schema = catalog.NewSchema(cols...)
+	}
+	return p.schema
+}
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	for _, e := range p.Exprs {
+		p.nodes += e.Nodes()
+	}
+	p.out = make(value.Row, len(p.Exprs))
+	return p.Child.Open()
+}
+
+// Next implements Operator.
+func (p *Project) Next() (value.Row, bool, error) {
+	row, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.Ctx.EvalCost(p.nodes)
+	for i, e := range p.Exprs {
+		p.out[i] = e.Eval(row)
+	}
+	p.Ctx.EmitRow(len(p.Exprs) * 8)
+	return p.out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Limit stops after N rows.
+type Limit struct {
+	Child Operator
+	N     int
+
+	seen int
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *catalog.Schema { return l.Child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.Child.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (value.Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// MemTable is a materialized row set living at simulated addresses,
+// scannable many times (the inner side of block nested-loop joins, sort
+// buffers, CTE-like temps).
+type MemTable struct {
+	Ctx    *Ctx
+	schema *catalog.Schema
+	rows   []value.Row
+	base   uint64
+	width  int
+}
+
+// NewMemTable materializes rows into scratch memory, simulating the copy.
+func NewMemTable(ctx *Ctx, schema *catalog.Schema, rows []value.Row) *MemTable {
+	width := schema.RowWidth()
+	size := uint64(width) * uint64(len(rows))
+	if size == 0 {
+		size = memsim.LineSize
+	}
+	base := ctx.Arena.Alloc(size, memsim.LineSize)
+	for i := range rows {
+		ctx.M.Hier.StoreRange(base+uint64(i*width), uint64(width))
+	}
+	return &MemTable{Ctx: ctx, schema: schema, rows: rows, base: base, width: width}
+}
+
+// Len returns the row count.
+func (m *MemTable) Len() int { return len(m.rows) }
+
+// Row reads row i with streaming loads.
+func (m *MemTable) Row(i int) value.Row {
+	m.Ctx.M.Hier.LoadRange(m.base+uint64(i*m.width), uint64(m.width))
+	return m.rows[i]
+}
+
+// Scan returns an operator over the mem table.
+func (m *MemTable) Scan() Operator { return &memScan{t: m} }
+
+type memScan struct {
+	t   *MemTable
+	pos int
+}
+
+func (s *memScan) Schema() *catalog.Schema { return s.t.schema }
+func (s *memScan) Open() error             { s.pos = 0; return nil }
+func (s *memScan) Next() (value.Row, bool, error) {
+	if s.pos >= len(s.t.rows) {
+		return nil, false, nil
+	}
+	row := s.t.Row(s.pos)
+	s.pos++
+	return row, true, nil
+}
+func (s *memScan) Close() error { return nil }
+
+// Collect drains an operator into a slice (cloning rows) and closes it.
+func Collect(op Operator) ([]value.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []value.Row
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row.Clone())
+	}
+}
+
+// Drain runs an operator to completion, discarding rows, and returns the
+// row count. The top of every profiled query uses Drain: result display is
+// disabled, as in the paper's measurement methodology.
+func Drain(op Operator) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

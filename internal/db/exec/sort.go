@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"sort"
+
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// SortKey describes one ordering column.
+type SortKey struct {
+	// Expr computes the key (usually a Col).
+	Expr Expr
+	Desc bool
+}
+
+// Sort materializes the child and sorts it. The simulated cost follows a
+// pointer-based quicksort: each comparison loads the two row headers
+// (dependent) and each move stores a pointer — the compact sort buffers
+// real engines use under work_mem.
+type Sort struct {
+	Ctx   *Ctx
+	Child Operator
+	Keys  []SortKey
+
+	rows    []value.Row
+	keys    [][]value.Value
+	base    uint64
+	pos     int
+	rowsize int
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *catalog.Schema { return s.Child.Schema() }
+
+// Open implements Operator: drains, sorts, and rewinds.
+func (s *Sort) Open() error {
+	rows, err := Collect(s.Child)
+	if err != nil {
+		return err
+	}
+	s.rows = rows
+	s.pos = 0
+	s.rowsize = s.Child.Schema().RowWidth()
+
+	// Precompute key columns (engines sort on extracted keys).
+	s.keys = make([][]value.Value, len(rows))
+	for i, r := range rows {
+		ks := make([]value.Value, len(s.Keys))
+		for k, sk := range s.Keys {
+			ks[k] = sk.Expr.Eval(r)
+		}
+		s.keys[i] = ks
+		s.Ctx.EvalCost(1)
+	}
+
+	// The sort buffer: one pointer-sized entry per row.
+	n := uint64(len(rows))
+	if n == 0 {
+		n = 1
+	}
+	s.base = s.Ctx.Arena.Alloc(n*16, memsim.PageSize)
+	h := s.Ctx.M.Hier
+	for i := range rows {
+		h.Store(s.base + uint64(i)*16)
+	}
+
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		// Each comparison touches both entries (dependent: the sort
+		// network chases row pointers) and does key compares.
+		h.Load(s.base+uint64(idx[a])*16%((n)*16), true)
+		h.Load(s.base+uint64(idx[b])*16%((n)*16), true)
+		s.Ctx.Compute(len(s.Keys))
+		return s.less(idx[a], idx[b])
+	})
+	sorted := make([]value.Row, len(rows))
+	sortedKeys := make([][]value.Value, len(rows))
+	for i, j := range idx {
+		sorted[i] = s.rows[j]
+		sortedKeys[i] = s.keys[j]
+		h.Store(s.base + uint64(i)*16)
+	}
+	s.rows = sorted
+	s.keys = sortedKeys
+	return nil
+}
+
+func (s *Sort) less(a, b int) bool {
+	for k, sk := range s.Keys {
+		c := value.Compare(s.keys[a][k], s.keys[b][k])
+		if c == 0 {
+			continue
+		}
+		if sk.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (value.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	// Reading the output streams the sorted run.
+	s.Ctx.M.Hier.LoadRange(s.base+uint64(s.pos)*16, 16)
+	row := s.rows[s.pos]
+	s.pos++
+	s.Ctx.EmitRow(s.rowsize)
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	s.keys = nil
+	return nil
+}

@@ -1,0 +1,117 @@
+package sql
+
+// SelectStmt is the parsed form of a query.
+type SelectStmt struct {
+	// Items are the select-list entries; a single Star item means `*`.
+	Items []SelectItem
+	// From is the first table.
+	From string
+	// Joins are the chained equijoins, in order.
+	Joins []JoinClause
+	// Where is the optional predicate.
+	Where Node
+	// GroupBy lists grouping expressions.
+	GroupBy []Node
+	// OrderBy lists ordering keys.
+	OrderBy []OrderKey
+	// Limit is the row limit; 0 means none.
+	Limit int
+}
+
+// SelectItem is one output column.
+type SelectItem struct {
+	Star bool
+	Expr Node
+	// As is the optional alias.
+	As string
+}
+
+// JoinClause is `JOIN table ON left = right`.
+type JoinClause struct {
+	Table string
+	// LeftCol and RightCol are the two sides of the ON equality; which
+	// belongs to the joined table is resolved by the planner.
+	LeftCol  string
+	RightCol string
+}
+
+// OrderKey is one ORDER BY entry.
+type OrderKey struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is an expression AST node.
+type Node interface{ node() }
+
+// ColNode references a column (optionally table-qualified).
+type ColNode struct{ Name string }
+
+// NumNode is a numeric literal.
+type NumNode struct{ Value float64 }
+
+// StrNode is a string literal.
+type StrNode struct{ Value string }
+
+// BinNode is a binary operation.
+type BinNode struct {
+	Op   string // + - * / = <> < <= > >= AND OR
+	L, R Node
+}
+
+// NotNode negates a boolean expression.
+type NotNode struct{ E Node }
+
+// LikeNode is `expr LIKE 'pattern'`.
+type LikeNode struct {
+	E       Node
+	Pattern string
+}
+
+// InNode is `expr IN (literals...)`.
+type InNode struct {
+	E    Node
+	List []Node
+}
+
+// BetweenNode is `expr BETWEEN lo AND hi`.
+type BetweenNode struct {
+	E      Node
+	Lo, Hi Node
+}
+
+// AggNode is an aggregate call.
+type AggNode struct {
+	Func string // SUM AVG COUNT MIN MAX
+	Arg  Node   // nil for COUNT(*)
+}
+
+func (ColNode) node()     {}
+func (NumNode) node()     {}
+func (StrNode) node()     {}
+func (BinNode) node()     {}
+func (NotNode) node()     {}
+func (LikeNode) node()    {}
+func (InNode) node()      {}
+func (BetweenNode) node() {}
+func (AggNode) node()     {}
+
+// hasAggregate reports whether the node tree contains an aggregate call.
+func hasAggregate(n Node) bool {
+	switch v := n.(type) {
+	case AggNode:
+		return true
+	case BinNode:
+		return hasAggregate(v.L) || hasAggregate(v.R)
+	case NotNode:
+		return hasAggregate(v.E)
+	case LikeNode:
+		return hasAggregate(v.E)
+	case InNode:
+		return hasAggregate(v.E)
+	case BetweenNode:
+		return hasAggregate(v.E) || hasAggregate(v.Lo) || hasAggregate(v.Hi)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,131 @@
+// Package sql implements a small SQL subset over the executor: SELECT with
+// expressions and aggregates, FROM with equijoin chains, WHERE, GROUP BY,
+// ORDER BY and LIMIT. It exists so the engines can be driven interactively
+// (cmd/dbshell) and from examples without hand-building plans.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved words, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "JOIN": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "LIKE": true, "IN": true,
+	"BETWEEN": true, "ASC": true, "DESC": true, "SUM": true, "AVG": true,
+	"COUNT": true, "MIN": true, "MAX": true, "NULL": true,
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sql: unterminated string at %d", start)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, pos: start}, nil
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokSymbol, text: op, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),*=<>+-/.", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// lexAll scans the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	return token{}, fmt.Errorf("sql: expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from.text
+
+	for p.accept(tokKeyword, "JOIN") {
+		jt, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.qualifiedIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		right, err := p.qualifiedIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: jt.text, LeftCol: left, RightCol: right})
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		limit, err := strconv.Atoi(n.text)
+		if err != nil || limit < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", n.text)
+		}
+		stmt.Limit = limit
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.orExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = alias.text
+	}
+	return item, nil
+}
+
+// qualifiedIdent reads ident or ident.ident, returning the bare column name
+// (table qualifiers only disambiguate visually; columns are globally unique
+// in the TPC-H schema).
+func (p *parser) qualifiedIdent() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	if p.accept(tokSymbol, ".") {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		name = c.text
+	}
+	return name, nil
+}
+
+// Expression grammar: or > and > not > comparison > additive >
+// multiplicative > primary.
+
+func (p *parser) orExpr() (Node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinNode{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Node, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinNode{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Node, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotNode{E: e}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Node, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(tokKeyword, "LIKE"):
+		pat, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return LikeNode{E: l, Pattern: pat.text}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenNode{E: l, Lo: lo, Hi: hi}, nil
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Node
+		for {
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return InNode{E: l, List: list}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return BinNode{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Node, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "+", L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) multiplicative() (Node, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "*", L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return NumNode{Value: v}, nil
+	case t.kind == tokString:
+		p.pos++
+		return StrNode{Value: t.text}, nil
+	case t.kind == tokKeyword && isAggKeyword(t.text):
+		p.pos++
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var arg Node
+		if p.accept(tokSymbol, "*") {
+			if t.text != "COUNT" {
+				return nil, fmt.Errorf("sql: %s(*) is not valid", t.text)
+			}
+		} else {
+			a, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			arg = a
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return AggNode{Func: t.text, Arg: arg}, nil
+	case t.kind == tokIdent:
+		name, err := p.qualifiedIdent()
+		if err != nil {
+			return nil, err
+		}
+		return ColNode{Name: name}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.pos++
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return BinNode{Op: "-", L: NumNode{}, R: e}, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+	}
+}
+
+func isAggKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SUM", "AVG", "COUNT", "MIN", "MAX":
+		return true
+	}
+	return false
+}

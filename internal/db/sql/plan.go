@@ -1,0 +1,398 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/value"
+)
+
+// Plan compiles a parsed statement into an executor plan on the engine. The
+// engine picks physical join strategies per its profile, exactly as the
+// hand-built TPC-H plans do.
+func Plan(e *engine.Engine, stmt *SelectStmt) (exec.Operator, error) {
+	base, err := e.Table(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+
+	var op exec.Operator
+	// Push the WHERE clause into the scan when the query has no joins
+	// (the common fast path); otherwise filter after the join chain.
+	pushdown := stmt.Where != nil && len(stmt.Joins) == 0
+	if pushdown {
+		pred, err := compile(stmt.Where, base.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = e.Scan(base, pred)
+	} else {
+		op = e.Scan(base, nil)
+	}
+
+	for _, j := range stmt.Joins {
+		inner, err := e.Table(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		outerCol, innerCol := j.LeftCol, j.RightCol
+		if _, err := op.Schema().ColIndex(outerCol); err != nil {
+			outerCol, innerCol = innerCol, outerCol
+		}
+		outerIdx, err := op.Schema().ColIndex(outerCol)
+		if err != nil {
+			return nil, fmt.Errorf("sql: join column %q not in outer relation", j.LeftCol)
+		}
+		if _, err := inner.Schema().ColIndex(innerCol); err != nil {
+			return nil, fmt.Errorf("sql: join column %q not in table %q", innerCol, j.Table)
+		}
+		op = e.EquiJoin(op, outerIdx, inner, innerCol, nil)
+	}
+
+	if stmt.Where != nil && !pushdown {
+		pred, err := compile(stmt.Where, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Filter{Ctx: e.Ctx, Child: op, Pred: pred}
+	}
+
+	aggregated := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && hasAggregate(it.Expr) {
+			aggregated = true
+		}
+	}
+
+	if !aggregated && len(stmt.OrderBy) > 0 {
+		// SQL resolves ORDER BY against the pre-projection relation
+		// (plus select-list aliases), so sort before projecting.
+		aliasExprs := map[string]Node{}
+		for _, it := range stmt.Items {
+			if it.As != "" && !it.Star {
+				aliasExprs[it.As] = it.Expr
+			}
+		}
+		keys := make([]exec.SortKey, 0, len(stmt.OrderBy))
+		for _, k := range stmt.OrderBy {
+			node := k.Expr
+			if c, ok := node.(ColNode); ok {
+				if repl, ok := aliasExprs[c.Name]; ok {
+					node = repl
+				}
+			}
+			expr, err := compile(node, op.Schema())
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: expr, Desc: k.Desc})
+		}
+		op = e.Sort(op, keys)
+	}
+
+	op, outNames, err := planProjection(e, op, stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	if aggregated && len(stmt.OrderBy) > 0 {
+		keys := make([]exec.SortKey, 0, len(stmt.OrderBy))
+		for _, k := range stmt.OrderBy {
+			expr, err := compileWithAliases(k.Expr, op.Schema(), outNames)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: expr, Desc: k.Desc})
+		}
+		op = e.Sort(op, keys)
+	}
+	if stmt.Limit > 0 {
+		op = &exec.Limit{Child: op, N: stmt.Limit}
+	}
+	return op, nil
+}
+
+// planProjection handles the select list: plain projection, or hash
+// aggregation when aggregates or GROUP BY appear.
+func planProjection(e *engine.Engine, op exec.Operator, stmt *SelectStmt) (exec.Operator, map[string]int, error) {
+	names := map[string]int{}
+	aggregated := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && hasAggregate(it.Expr) {
+			aggregated = true
+		}
+	}
+
+	if !aggregated {
+		if len(stmt.Items) == 1 && stmt.Items[0].Star {
+			return op, names, nil // pass-through
+		}
+		exprs := make([]exec.Expr, 0, len(stmt.Items))
+		outNames := make([]string, 0, len(stmt.Items))
+		for i, it := range stmt.Items {
+			if it.Star {
+				return nil, nil, fmt.Errorf("sql: * cannot be mixed with expressions")
+			}
+			ex, err := compile(it.Expr, op.Schema())
+			if err != nil {
+				return nil, nil, err
+			}
+			exprs = append(exprs, ex)
+			name := it.As
+			if name == "" {
+				name = render(it.Expr)
+			}
+			outNames = append(outNames, name)
+			names[name] = i
+		}
+		return &exec.Project{Ctx: e.Ctx, Child: op, Exprs: exprs, Names: outNames}, names, nil
+	}
+
+	// Aggregation: group keys are the GROUP BY expressions; every
+	// non-aggregate select item must match one of them.
+	groupExprs := make([]exec.Expr, 0, len(stmt.GroupBy))
+	groupKeys := make([]string, 0, len(stmt.GroupBy))
+	for _, g := range stmt.GroupBy {
+		ex, err := compile(g, op.Schema())
+		if err != nil {
+			return nil, nil, err
+		}
+		groupExprs = append(groupExprs, ex)
+		groupKeys = append(groupKeys, render(g))
+	}
+	var aggs []exec.AggSpec
+	type outCol struct {
+		name   string
+		grpIdx int // >= 0 when a group key
+		aggIdx int // >= 0 when an aggregate
+	}
+	var outs []outCol
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("sql: * cannot be used with GROUP BY")
+		}
+		name := it.As
+		if name == "" {
+			name = render(it.Expr)
+		}
+		if agg, ok := it.Expr.(AggNode); ok {
+			var arg exec.Expr
+			if agg.Arg != nil {
+				var err error
+				arg, err = compile(agg.Arg, op.Schema())
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			kind, err := aggKind(agg.Func)
+			if err != nil {
+				return nil, nil, err
+			}
+			aggs = append(aggs, exec.AggSpec{Kind: kind, Arg: arg, Name: name})
+			outs = append(outs, outCol{name: name, grpIdx: -1, aggIdx: len(aggs) - 1})
+			continue
+		}
+		key := render(it.Expr)
+		idx := -1
+		for i, gk := range groupKeys {
+			if gk == key {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("sql: %s must appear in GROUP BY or inside an aggregate", key)
+		}
+		outs = append(outs, outCol{name: name, grpIdx: idx, aggIdx: -1})
+	}
+	g := e.GroupBy(op, groupExprs, aggs)
+
+	// Re-project group output into the select-list order and names.
+	exprs := make([]exec.Expr, 0, len(outs))
+	outNames := make([]string, 0, len(outs))
+	for i, oc := range outs {
+		var idx int
+		if oc.grpIdx >= 0 {
+			idx = oc.grpIdx
+		} else {
+			idx = len(groupExprs) + oc.aggIdx
+		}
+		exprs = append(exprs, exec.Col{Idx: idx, Name: oc.name})
+		outNames = append(outNames, oc.name)
+		names[oc.name] = i
+	}
+	return &exec.Project{Ctx: e.Ctx, Child: g, Exprs: exprs, Names: outNames}, names, nil
+}
+
+func aggKind(name string) (exec.AggKind, error) {
+	switch strings.ToUpper(name) {
+	case "SUM":
+		return exec.AggSum, nil
+	case "AVG":
+		return exec.AggAvg, nil
+	case "COUNT":
+		return exec.AggCount, nil
+	case "MIN":
+		return exec.AggMin, nil
+	case "MAX":
+		return exec.AggMax, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown aggregate %q", name)
+	}
+}
+
+// compile lowers an AST node to an executor expression over the schema.
+func compile(n Node, schema *catalog.Schema) (exec.Expr, error) {
+	switch v := n.(type) {
+	case ColNode:
+		idx, err := schema.ColIndex(v.Name)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Col{Idx: idx, Name: v.Name}, nil
+	case NumNode:
+		if v.Value == float64(int64(v.Value)) {
+			return exec.Const{V: value.Int(int64(v.Value))}, nil
+		}
+		return exec.Const{V: value.Float(v.Value)}, nil
+	case StrNode:
+		return exec.Const{V: value.Str(v.Value)}, nil
+	case NotNode:
+		e, err := compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Not{E: e}, nil
+	case LikeNode:
+		e, err := compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Like{E: e, Pattern: v.Pattern}, nil
+	case InNode:
+		e, err := compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]value.Value, 0, len(v.List))
+		for _, item := range v.List {
+			c, err := compile(item, schema)
+			if err != nil {
+				return nil, err
+			}
+			k, ok := c.(exec.Const)
+			if !ok {
+				return nil, fmt.Errorf("sql: IN list must contain literals")
+			}
+			list = append(list, k.V)
+		}
+		return exec.InList{E: e, List: list}, nil
+	case BetweenNode:
+		e, err := compile(v.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compile(v.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compile(v.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		// SQL BETWEEN is inclusive on both ends.
+		return exec.BinOp{Op: exec.OpAnd,
+			L: exec.BinOp{Op: exec.OpGe, L: e, R: lo},
+			R: exec.BinOp{Op: exec.OpLe, L: e, R: hi},
+		}, nil
+	case BinNode:
+		l, err := compile(v.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(v.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOps[v.Op]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown operator %q", v.Op)
+		}
+		return exec.BinOp{Op: op, L: l, R: r}, nil
+	case AggNode:
+		return nil, fmt.Errorf("sql: aggregate %s used outside the select list", v.Func)
+	default:
+		return nil, fmt.Errorf("sql: cannot compile %T", n)
+	}
+}
+
+var binOps = map[string]exec.BinOpKind{
+	"+": exec.OpAdd, "-": exec.OpSub, "*": exec.OpMul, "/": exec.OpDiv,
+	"=": exec.OpEq, "<>": exec.OpNe, "<": exec.OpLt, "<=": exec.OpLe,
+	">": exec.OpGt, ">=": exec.OpGe, "AND": exec.OpAnd, "OR": exec.OpOr,
+}
+
+// compileWithAliases resolves output-column aliases before falling back to
+// schema resolution (ORDER BY can name select-list aliases).
+func compileWithAliases(n Node, schema *catalog.Schema, aliases map[string]int) (exec.Expr, error) {
+	if c, ok := n.(ColNode); ok {
+		if idx, ok := aliases[c.Name]; ok {
+			return exec.Col{Idx: idx, Name: c.Name}, nil
+		}
+	}
+	return compile(n, schema)
+}
+
+// render produces a canonical string for AST matching (GROUP BY keys).
+func render(n Node) string {
+	switch v := n.(type) {
+	case ColNode:
+		return v.Name
+	case NumNode:
+		return fmt.Sprintf("%g", v.Value)
+	case StrNode:
+		return fmt.Sprintf("'%s'", v.Value)
+	case BinNode:
+		return fmt.Sprintf("(%s %s %s)", render(v.L), v.Op, render(v.R))
+	case NotNode:
+		return "NOT " + render(v.E)
+	case LikeNode:
+		return fmt.Sprintf("%s LIKE '%s'", render(v.E), v.Pattern)
+	case InNode:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = render(e)
+		}
+		return fmt.Sprintf("%s IN (%s)", render(v.E), strings.Join(parts, ", "))
+	case BetweenNode:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", render(v.E), render(v.Lo), render(v.Hi))
+	case AggNode:
+		if v.Arg == nil {
+			return strings.ToLower(v.Func) + "(*)"
+		}
+		return fmt.Sprintf("%s(%s)", strings.ToLower(v.Func), render(v.Arg))
+	default:
+		return "?"
+	}
+}
+
+// Run parses, plans and drains a query, returning the result rows and the
+// output column names.
+func Run(e *engine.Engine, query string) ([]value.Row, []string, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := Plan(e, stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Collect(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, plan.Schema().Names(), nil
+}

@@ -1,0 +1,411 @@
+// Package storage implements the disk, buffer-pool and heap-file layers the
+// database engines run on. All in-memory structures live at simulated
+// addresses: every page touch, row read and row write is driven through the
+// memory-hierarchy simulator so the energy profiler sees the same access
+// stream a real engine would generate.
+package storage
+
+import (
+	"fmt"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// Device bundles the simulated machine resources the storage layer uses.
+type Device struct {
+	M *cpusim.Machine
+	// Arena allocates simulated addresses for buffer frames, indexes and
+	// scratch memory.
+	Arena *memsim.Arena
+	// Disk models I/O latency.
+	Disk DiskModel
+
+	// everRead tracks pages that have been read from disk at least once
+	// and therefore live in the OS page cache: the paper's testbed has
+	// 32GB of memory against at most 1GB of data, so only first-ever
+	// reads pay disk latency; buffer-pool misses on previously-read
+	// pages cost a pread from the page cache (a memory copy).
+	everRead map[PageID]bool
+}
+
+// NewDevice builds a device with a private arena.
+func NewDevice(m *cpusim.Machine, arenaBytes uint64) *Device {
+	return &Device{
+		M:        m,
+		Arena:    memsim.NewArena(1<<32, arenaBytes),
+		Disk:     DefaultDisk(),
+		everRead: make(map[PageID]bool),
+	}
+}
+
+// DiskModel gives per-page read latencies for the local SATA drive of the
+// paper's testbed plus the OS page-cache hit cost. Sequential reads ride OS
+// readahead; random reads seek.
+type DiskModel struct {
+	RandomReadSec     float64
+	SequentialReadSec float64
+	// PageCacheSec is the syscall + lookup overhead of a pread served
+	// from the OS page cache (the copy itself is simulated as stores).
+	PageCacheSec float64
+}
+
+// DefaultDisk returns latencies for a 500GB SATA hard drive under a large
+// OS page cache.
+func DefaultDisk() DiskModel {
+	return DiskModel{RandomReadSec: 2e-3, SequentialReadSec: 30e-6, PageCacheSec: 1.5e-6}
+}
+
+// PageID identifies a page within a file.
+type PageID struct {
+	File int
+	Page int
+}
+
+// BufferPool caches pages in simulated-memory frames with clock eviction.
+// Its size and page size are the knobs of the paper's Table 4
+// (shared_buffers / cache_size / innodb_buffer_pool_size).
+type BufferPool struct {
+	dev        *Device
+	pageSize   int
+	frames     int
+	frameAddr  []uint64
+	framePage  []PageID
+	frameUsed  []bool
+	frameRef   []bool
+	frameDirty []bool
+	pageTable  map[PageID]int
+	clockHand  int
+
+	// Misses counts pages read from disk; Hits counts buffer hits.
+	Hits   uint64
+	Misses uint64
+	// WriteBacks counts dirty pages written back on eviction or
+	// checkpoint.
+	WriteBacks uint64
+	// WriteBackSec is the (asynchronous, mostly-hidden) latency charged
+	// per written-back page.
+	WriteBackSec float64
+}
+
+// NewBufferPool allocates the frame array from the device arena.
+func NewBufferPool(dev *Device, poolBytes, pageSize int) *BufferPool {
+	if pageSize <= 0 {
+		panic("storage: page size must be positive")
+	}
+	frames := poolBytes / pageSize
+	if frames < 4 {
+		frames = 4
+	}
+	bp := &BufferPool{
+		dev:          dev,
+		pageSize:     pageSize,
+		frames:       frames,
+		frameAddr:    make([]uint64, frames),
+		framePage:    make([]PageID, frames),
+		frameUsed:    make([]bool, frames),
+		frameRef:     make([]bool, frames),
+		frameDirty:   make([]bool, frames),
+		pageTable:    make(map[PageID]int, frames),
+		WriteBackSec: 5e-6,
+	}
+	for i := 0; i < frames; i++ {
+		bp.frameAddr[i] = dev.Arena.Alloc(uint64(pageSize), memsim.PageSize)
+	}
+	return bp
+}
+
+// PageSize returns the pool's page size.
+func (bp *BufferPool) PageSize() int { return bp.pageSize }
+
+// Frames returns the number of frames.
+func (bp *BufferPool) Frames() int { return bp.frames }
+
+// Fetch returns the simulated frame address of the page, reading it from
+// disk on a miss. sequential marks accesses that ride readahead. The page
+// header is touched (one dependent load) on every fetch, as an engine
+// touches the page's slot directory.
+func (bp *BufferPool) Fetch(id PageID, sequential bool) uint64 {
+	h := bp.dev.M.Hier
+	if idx, ok := bp.pageTable[id]; ok {
+		bp.Hits++
+		bp.frameRef[idx] = true
+		h.Load(bp.frameAddr[idx], true)
+		return bp.frameAddr[idx]
+	}
+	bp.Misses++
+	idx := bp.evict()
+	bp.pageTable[id] = idx
+	bp.framePage[idx] = id
+	bp.frameUsed[idx] = true
+	bp.frameRef[idx] = true
+
+	// First-ever reads pay disk latency; re-reads are served by the OS
+	// page cache for syscall cost only. Either way the page is copied
+	// into the frame (one store per cache line, as memcpy issues).
+	switch {
+	case bp.dev.everRead[id]:
+		bp.dev.M.AddIdle(bp.dev.Disk.PageCacheSec)
+	case sequential:
+		bp.dev.M.AddIdle(bp.dev.Disk.SequentialReadSec)
+		bp.dev.everRead[id] = true
+	default:
+		bp.dev.M.AddIdle(bp.dev.Disk.RandomReadSec)
+		bp.dev.everRead[id] = true
+	}
+	h.StoreRange(bp.frameAddr[idx], uint64(bp.pageSize))
+	h.Load(bp.frameAddr[idx], true)
+	return bp.frameAddr[idx]
+}
+
+// Contains reports whether the page is resident (no accesses simulated).
+func (bp *BufferPool) Contains(id PageID) bool {
+	_, ok := bp.pageTable[id]
+	return ok
+}
+
+// evict picks a frame with the clock algorithm.
+func (bp *BufferPool) evict() int {
+	for {
+		idx := bp.clockHand
+		bp.clockHand = (bp.clockHand + 1) % bp.frames
+		if !bp.frameUsed[idx] {
+			return idx
+		}
+		if bp.frameRef[idx] {
+			bp.frameRef[idx] = false
+			continue
+		}
+		if bp.frameDirty[idx] {
+			bp.writeBack(idx)
+		}
+		delete(bp.pageTable, bp.framePage[idx])
+		return idx
+	}
+}
+
+// writeBack flushes one dirty frame: the kernel reads the frame out and the
+// (buffered, asynchronous) write costs a small latency.
+func (bp *BufferPool) writeBack(idx int) {
+	bp.dev.M.Hier.LoadRange(bp.frameAddr[idx], uint64(bp.pageSize))
+	bp.dev.M.AddIdle(bp.WriteBackSec)
+	bp.frameDirty[idx] = false
+	bp.WriteBacks++
+}
+
+// MarkDirty flags a resident page as modified; it will be written back on
+// eviction or checkpoint. Marking a non-resident page is a no-op.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	if idx, ok := bp.pageTable[id]; ok {
+		bp.frameDirty[idx] = true
+	}
+}
+
+// Checkpoint writes back every dirty frame (the periodic flush real engines
+// run), returning how many pages were written.
+func (bp *BufferPool) Checkpoint() int {
+	n := 0
+	for idx := range bp.frameDirty {
+		if bp.frameDirty[idx] {
+			bp.writeBack(idx)
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyCount returns the number of dirty resident pages.
+func (bp *BufferPool) DirtyCount() int {
+	n := 0
+	for _, d := range bp.frameDirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush drops every cached page, forcing subsequent fetches to disk (used
+// by cold-run experiments).
+func (bp *BufferPool) Flush() {
+	bp.pageTable = make(map[PageID]int, bp.frames)
+	for i := range bp.frameUsed {
+		bp.frameUsed[i] = false
+		bp.frameRef[i] = false
+		bp.frameDirty[i] = false
+	}
+	bp.clockHand = 0
+}
+
+// RelocateFrames moves the first frames of the pool to addresses drawn from
+// alloc until it declines. It returns how many frames moved. The Section 4.2
+// co-design uses this to put a slice of the database buffer into DTCM.
+func (bp *BufferPool) RelocateFrames(alloc func(size uint64) (uint64, bool)) int {
+	moved := 0
+	for i := 0; i < bp.frames; i++ {
+		addr, ok := alloc(uint64(bp.pageSize))
+		if !ok {
+			break
+		}
+		bp.frameAddr[i] = addr
+		moved++
+	}
+	return moved
+}
+
+// HitRate returns the buffer hit ratio.
+func (bp *BufferPool) HitRate() float64 {
+	total := bp.Hits + bp.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.Hits) / float64(total)
+}
+
+// pageHeaderBytes models the slotted-page header walked on row access.
+const pageHeaderBytes = 24
+
+// HeapFile stores fixed-width rows in slotted pages behind a buffer pool.
+// Row *contents* live on the Go side (rows slice); the page/slot geometry
+// determines the simulated addresses touched when rows are read.
+type HeapFile struct {
+	dev      *Device
+	pool     *BufferPool
+	fileID   int
+	schema   *catalog.Schema
+	rows     []value.Row
+	rowWidth int
+	perPage  int
+	// TupleOverhead is the per-row header width (PostgreSQL's 24-byte
+	// heap tuple header, InnoDB's record header, ...), an engine knob.
+	TupleOverhead int
+}
+
+var nextFileID = 1
+
+// NewHeapFile creates an empty heap file on the pool.
+func NewHeapFile(dev *Device, pool *BufferPool, schema *catalog.Schema, tupleOverhead int) *HeapFile {
+	width := schema.RowWidth() + tupleOverhead
+	perPage := (pool.pageSize - pageHeaderBytes) / width
+	if perPage < 1 {
+		perPage = 1
+	}
+	hf := &HeapFile{
+		dev:           dev,
+		pool:          pool,
+		fileID:        nextFileID,
+		schema:        schema,
+		rowWidth:      width,
+		perPage:       perPage,
+		TupleOverhead: tupleOverhead,
+	}
+	nextFileID++
+	return hf
+}
+
+// Schema returns the row schema.
+func (hf *HeapFile) Schema() *catalog.Schema { return hf.schema }
+
+// RowCount returns the number of rows.
+func (hf *HeapFile) RowCount() int { return len(hf.rows) }
+
+// PageCount returns the number of pages the rows occupy.
+func (hf *HeapFile) PageCount() int {
+	if len(hf.rows) == 0 {
+		return 0
+	}
+	return (len(hf.rows) + hf.perPage - 1) / hf.perPage
+}
+
+// RowsPerPage returns the slot count per page.
+func (hf *HeapFile) RowsPerPage() int { return hf.perPage }
+
+// Append bulk-loads a row, simulating the page write.
+func (hf *HeapFile) Append(r value.Row) int {
+	id := len(hf.rows)
+	hf.rows = append(hf.rows, r.Clone())
+	page, slot := id/hf.perPage, id%hf.perPage
+	addr := hf.pool.Fetch(PageID{hf.fileID, page}, true)
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*hf.rowWidth), uint64(hf.rowWidth))
+	return id
+}
+
+// Update overwrites row id in place: a random page fetch, the row store,
+// and the dirty mark (write-back happens on eviction or checkpoint). It
+// returns the number of bytes logically written, for WAL sizing.
+func (hf *HeapFile) Update(id int, row value.Row) (int, error) {
+	if id < 0 || id >= len(hf.rows) {
+		return 0, fmt.Errorf("storage: row %d out of range [0, %d)", id, len(hf.rows))
+	}
+	page, slot := id/hf.perPage, id%hf.perPage
+	pid := PageID{hf.fileID, page}
+	addr := hf.pool.Fetch(pid, false)
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*hf.rowWidth), uint64(hf.rowWidth))
+	hf.pool.MarkDirty(pid)
+	hf.rows[id] = row.Clone()
+	return hf.rowWidth, nil
+}
+
+// Pool returns the backing buffer pool.
+func (hf *HeapFile) Pool() *BufferPool { return hf.pool }
+
+// ReadRow fetches row id, simulating the page fetch and the row's cache-line
+// loads. sequential marks scan order access (readahead + independent loads);
+// random access (index lookups) issues dependent loads.
+func (hf *HeapFile) ReadRow(id int, sequential bool) (value.Row, error) {
+	if id < 0 || id >= len(hf.rows) {
+		return nil, fmt.Errorf("storage: row %d out of range [0, %d)", id, len(hf.rows))
+	}
+	page, slot := id/hf.perPage, id%hf.perPage
+	addr := hf.pool.Fetch(PageID{hf.fileID, page}, sequential)
+	rowAddr := addr + uint64(pageHeaderBytes+slot*hf.rowWidth)
+	h := hf.dev.M.Hier
+	if sequential {
+		h.LoadRange(rowAddr, uint64(hf.rowWidth))
+	} else {
+		// The slot lookup is a pointer chase; remaining lines stream.
+		h.Load(rowAddr, true)
+		if hf.rowWidth > memsim.LineSize {
+			h.LoadRange(rowAddr+memsim.LineSize, uint64(hf.rowWidth-memsim.LineSize))
+		}
+	}
+	return hf.rows[id], nil
+}
+
+// Machine exposes the device machine (operators issue compute through it).
+func (hf *HeapFile) Machine() *cpusim.Machine { return hf.dev.M }
+
+// Scanner iterates a heap file in row order, fetching each page once and
+// streaming the rows off it — the sequential-scan access pattern whose L1D
+// locality the paper identifies as the energy bottleneck's root cause.
+type Scanner struct {
+	hf       *HeapFile
+	next     int
+	curPage  int
+	pageAddr uint64
+}
+
+// Scan starts a full-file sequential scan.
+func (hf *HeapFile) Scan() *Scanner {
+	return &Scanner{hf: hf, curPage: -1}
+}
+
+// Next returns the next row and its id, or ok=false at the end.
+func (s *Scanner) Next() (value.Row, int, bool) {
+	hf := s.hf
+	if s.next >= len(hf.rows) {
+		return nil, 0, false
+	}
+	id := s.next
+	s.next++
+	page, slot := id/hf.perPage, id%hf.perPage
+	if page != s.curPage {
+		s.pageAddr = hf.pool.Fetch(PageID{hf.fileID, page}, true)
+		s.curPage = page
+	}
+	rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*hf.rowWidth)
+	hf.dev.M.Hier.LoadRange(rowAddr, uint64(hf.rowWidth))
+	return hf.rows[id], id, true
+}

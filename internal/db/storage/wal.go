@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"energydb/internal/memsim"
+)
+
+// WAL is a write-ahead log: records append into a hot log buffer (stores
+// with excellent L1D locality) and commits force the buffer to disk. The
+// paper defers write queries ("a totally different problem", Section 2.3);
+// this implements the machinery so the X4 extension experiment can profile
+// them with the same methodology.
+type WAL struct {
+	dev *Device
+	// buf is the in-memory log buffer (a hot, reused region).
+	buf     uint64
+	bufSize uint64
+	bufOff  uint64
+	// FsyncSec is the commit-time flush latency.
+	FsyncSec float64
+	// GroupCommit batches this many commits per fsync (1 = every commit
+	// syncs, as PostgreSQL's synchronous_commit=on).
+	GroupCommit int
+
+	pendingCommits int
+	// Records counts appended records; Syncs counts fsyncs.
+	Records uint64
+	Syncs   uint64
+	Bytes   uint64
+}
+
+// walBufBytes is the log buffer size (PostgreSQL's wal_buffers default
+// scale, scaled down like the rest of the knobs).
+const walBufBytes = 64 << 10
+
+// NewWAL allocates the log buffer from the device arena.
+func NewWAL(dev *Device) *WAL {
+	return &WAL{
+		dev:         dev,
+		buf:         dev.Arena.Alloc(walBufBytes, memsim.PageSize),
+		bufSize:     walBufBytes,
+		FsyncSec:    120e-6, // one rotational-latency-ish flush
+		GroupCommit: 1,
+	}
+}
+
+// Append writes one log record of the given payload size: a header plus the
+// payload streamed into the log buffer.
+func (w *WAL) Append(payload int) {
+	size := uint64(payload + 24)
+	if w.bufOff+size > w.bufSize {
+		// Buffer wrap forces a background flush of the filled portion.
+		w.flush()
+	}
+	w.dev.M.Hier.StoreRange(w.buf+w.bufOff, size)
+	w.bufOff += size
+	w.Records++
+	w.Bytes += size
+}
+
+// Commit makes appended records durable; with group commit, only every
+// GroupCommit'th call pays the fsync.
+func (w *WAL) Commit() {
+	w.pendingCommits++
+	if w.pendingCommits >= w.GroupCommit {
+		w.flush()
+	}
+}
+
+// flush forces the buffer to stable storage.
+func (w *WAL) flush() {
+	if w.bufOff == 0 && w.pendingCommits == 0 {
+		return
+	}
+	// The kernel copies the buffer out (loads of the log buffer).
+	w.dev.M.Hier.LoadRange(w.buf, w.bufOff)
+	w.dev.M.AddIdle(w.FsyncSec)
+	w.bufOff = 0
+	w.pendingCommits = 0
+	w.Syncs++
+}

@@ -1,0 +1,310 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation: Tables 1, 2, 3 and 5 (the micro-benchmark methodology) and
+// Figures 5–11 and 13 (the database energy study and the proof-of-concept
+// system). Each experiment renders a fixed-width text table and a CSV.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"energydb/internal/core"
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/mubench"
+	"energydb/internal/rapl"
+	"energydb/internal/tpch"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Class is the dataset size class (experiments that sweep sizes
+	// ignore it).
+	Class tpch.SizeClass
+	// Setting is the knob setting (experiments that sweep settings
+	// ignore it).
+	Setting engine.Setting
+	// Scale rescales micro-benchmark pass counts (1 = paper-shaped).
+	Scale float64
+	// WorkScale rescales CPU2006 kernel iteration counts.
+	WorkScale float64
+	// Quick restricts query sweeps to a subset and the smallest class,
+	// for tests and smoke runs.
+	Quick bool
+	// Seed drives measurement noise.
+	Seed int64
+}
+
+// DefaultOptions returns the paper-shaped configuration.
+func DefaultOptions() Options {
+	return Options{
+		Class:     tpch.Size100MB,
+		Setting:   engine.SettingBaseline,
+		Scale:     0.2,
+		WorkScale: 0.2,
+		Seed:      42,
+	}
+}
+
+// quickOptions reduces everything for fast runs.
+func (o Options) effective() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.2
+	}
+	if o.WorkScale <= 0 {
+		o.WorkScale = 0.2
+	}
+	if o.Quick {
+		o.Class = tpch.Size10MB
+		if o.Scale > 0.05 {
+			o.Scale = 0.05
+		}
+		if o.WorkScale > 0.05 {
+			o.WorkScale = 0.05
+		}
+	}
+	return o
+}
+
+// Result is a rendered experiment.
+type Result struct {
+	ID    string
+	Title string
+	// Text is the human-readable table.
+	Text string
+	// CSV is the same data in machine-readable form.
+	CSV string
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) (Result, error)
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T1", "Table 1: runtime behaviors of micro-benchmarks", RunTable1},
+		{"T2", "Table 2: energy cost of micro-operations at P-states 36/24/12", RunTable2},
+		{"T3", "Table 3: verification micro-benchmarks and accuracy", RunTable3},
+		{"T5", "Table 5: energy bottleneck of B_mem at different P-states", RunTable5},
+		{"F5", "Figure 5: query count distribution over percent of P-state 36", RunFigure5},
+		{"F6", "Figure 6: Active energy breakdown of basic query operations", RunFigure6},
+		{"F7", "Figure 7: Active energy breakdown of TPC-H", RunFigure7},
+		{"F8", "Figure 8: impact of data size", RunFigure8},
+		{"F9", "Figure 9: impact of database setting", RunFigure9},
+		{"F10", "Figure 10: energy cost breakdown of CPU2006", RunFigure10},
+		{"F11", "Figure 11: impact of CPU frequencies and voltages", RunFigure11},
+		{"F13", "Figure 13: energy saving and performance improvement with DTCM", RunFigure13},
+		{"X1", "Extension: NoSQL key-value store breakdown (Section 7 future work)", RunExtensionNoSQL},
+		{"X2", "Extension: stall-aware DVFS policy (Section 5 suggestion)", RunExtensionDVFS},
+		{"X3", "Extension: ITCM on top of the DTCM co-design (Section 5 suggestion)", RunExtensionITCM},
+		{"X4", "Extension: update-statement breakdown (the write path deferred in Section 2.3)", RunExtensionWrites},
+		{"X5", "Extension: customized-CPU architecture sweep via trace replay (Section 4.1 design space)", RunExtensionArchSweep},
+	}
+}
+
+// ByID fetches an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: no experiment %q (have %s)", id, strings.Join(ids(), ", "))
+}
+
+func ids() []string {
+	out := make([]string, 0)
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lab bundles the Intel measurement stack: machine, meter, runner and a
+// calibration at the requested P-state.
+type lab struct {
+	m      *cpusim.Machine
+	meter  *rapl.Meter
+	runner *mubench.Runner
+	cal    *core.Calibration
+}
+
+// newLab calibrates a fresh machine at the given P-state.
+func newLab(o Options, p cpusim.PState) (*lab, error) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	if err := m.SetPState(p); err != nil {
+		return nil, err
+	}
+	meter := rapl.NewMeter(m, o.Seed, rapl.DefaultNoise)
+	runner := mubench.NewRunner(m, meter)
+	runner.Scale = o.Scale
+	if o.Quick {
+		runner.Repetitions = 2
+	}
+	cal, err := core.Calibrate(runner)
+	if err != nil {
+		return nil, err
+	}
+	return &lab{m: m, meter: meter, runner: runner, cal: cal}, nil
+}
+
+// profiler builds a workload profiler over the lab.
+func (l *lab) profiler() *core.Profiler {
+	return core.NewProfiler(l.m, l.meter, l.cal)
+}
+
+// setupEngine loads TPC-H into a fresh engine on the lab's machine.
+func (l *lab) setupEngine(kind engine.Kind, setting engine.Setting, class tpch.SizeClass) *engine.Engine {
+	e := engine.New(kind, l.m, setting)
+	tpch.Setup(e, class)
+	return e
+}
+
+// queriesFor returns the query sweep for the options.
+func queriesFor(o Options) []tpch.Query {
+	qs := tpch.Queries()
+	if !o.Quick {
+		return qs
+	}
+	// A representative quick subset: scan (Q1, Q6), join-heavy (Q3),
+	// index-flavoured (Q4), aggregation (Q13).
+	var out []tpch.Query
+	for _, q := range qs {
+		switch q.ID {
+		case 1, 3, 4, 6, 13:
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// profileQuery warms the plan once, rebuilds it and profiles the run.
+func profileQuery(prof *core.Profiler, e *engine.Engine, q tpch.Query) (core.Breakdown, error) {
+	plan, err := q.Build(e)
+	if err != nil {
+		return core.Breakdown{}, err
+	}
+	if _, err := e.Run(plan); err != nil {
+		return core.Breakdown{}, err
+	}
+	plan, err = q.Build(e)
+	if err != nil {
+		return core.Breakdown{}, err
+	}
+	var runErr error
+	b := prof.Profile(fmt.Sprintf("Q%d", q.ID), func() {
+		_, runErr = e.Run(plan)
+	})
+	return b, runErr
+}
+
+// shareHeader is the component header of every breakdown table.
+var shareHeader = []string{"E_L1D%", "E_Reg2L1D%", "E_L2%", "E_L3%", "E_mem%", "E_pf%", "E_stall%", "E_other%"}
+
+// shareCells renders a breakdown's component shares.
+func shareCells(b core.Breakdown) []string {
+	out := make([]string, 0, core.NumComponents)
+	for _, c := range core.Components() {
+		out = append(out, fmt.Sprintf("%.1f", b.Share(c)*100))
+	}
+	return out
+}
+
+// barGlyphs letters the components in a stacked bar: L=E_L1D, S=E_Reg2L1D,
+// 2=E_L2, 3=E_L3, M=E_mem, P=E_pf, W=E_stall (wait), .=E_other.
+var barGlyphs = [core.NumComponents]byte{'L', 'S', '2', '3', 'M', 'P', 'W', '.'}
+
+// barWidth is the stacked-bar width in characters (each char ~1.67%).
+const barWidth = 60
+
+// bar renders one breakdown as an ASCII stacked bar, the textual analogue
+// of the paper's figure bars.
+func bar(b core.Breakdown) string {
+	out := make([]byte, 0, barWidth+2)
+	out = append(out, '|')
+	used := 0
+	for i, c := range core.Components() {
+		n := int(b.Share(c)*barWidth + 0.5)
+		if used+n > barWidth {
+			n = barWidth - used
+		}
+		for j := 0; j < n; j++ {
+			out = append(out, barGlyphs[i])
+		}
+		used += n
+	}
+	for used < barWidth {
+		out = append(out, ' ')
+		used++
+	}
+	return string(append(out, '|'))
+}
+
+// barLegend explains the glyphs once per chart.
+const barLegend = "legend: L=E_L1D S=E_Reg2L1D 2=E_L2 3=E_L3 M=E_mem P=E_pf W=E_stall .=E_other"
+
+// chart renders labelled stacked bars.
+func chart(title string, labels []string, bds []core.Breakdown) string {
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("\n" + title + "\n" + barLegend + "\n")
+	for i, b := range bds {
+		fmt.Fprintf(&sb, "%-*s %s\n", width, labels[i], bar(b))
+	}
+	return sb.String()
+}
+
+// table renders rows as fixed-width text and CSV.
+func table(title string, header []string, rows [][]string) (string, string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var text strings.Builder
+	text.WriteString(title + "\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				text.WriteString("  ")
+			}
+			fmt.Fprintf(&text, "%-*s", widths[i], c)
+		}
+		text.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			text.WriteString("  ")
+		}
+		text.WriteString(strings.Repeat("-", w))
+	}
+	text.WriteString("\n")
+	for _, r := range rows {
+		writeRow(r)
+	}
+
+	var csv strings.Builder
+	csv.WriteString(strings.Join(header, ",") + "\n")
+	for _, r := range rows {
+		csv.WriteString(strings.Join(r, ",") + "\n")
+	}
+	return text.String(), csv.String()
+}

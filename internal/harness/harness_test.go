@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	return o
+}
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5"}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
+	}
+	for i, id := range want {
+		if exps[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, exps[i].ID, id)
+		}
+	}
+	if _, err := ByID("f7"); err != nil {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, err := ByID("F99"); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	res, err := RunTable1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"B_L1D_list", "B_L1D_array", "B_L2", "B_L3", "B_mem", "B_Reg2L1D", "B_add", "B_nop"} {
+		if !strings.Contains(res.Text, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+	if !strings.Contains(res.CSV, "IPC") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	res, err := RunTable2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "dE_L1D") || !strings.Contains(res.Text, "dE_mem") {
+		t.Fatalf("Table 2 rows missing:\n%s", res.Text)
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	res, err := RunTable3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "B_mem_nop") || !strings.Contains(res.Text, "average") {
+		t.Fatalf("Table 3 incomplete:\n%s", res.Text)
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	res, err := RunTable5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "E_stall") || !strings.Contains(res.Text, "P36->P24") {
+		t.Fatalf("Table 5 incomplete:\n%s", res.Text)
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	res, err := RunFigure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"index scan", "table scan", "SQLite", "MySQL", "PostgreSQL"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("Figure 6 missing %q", s)
+		}
+	}
+}
+
+func TestFigure7Quick(t *testing.T) {
+	res, err := RunFigure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "average") {
+		t.Fatalf("Figure 7 missing averages:\n%s", res.Text)
+	}
+}
+
+func TestFigure10Quick(t *testing.T) {
+	res, err := RunFigure10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Mcf", "Libquantum", "Bzip2"} {
+		if !strings.Contains(res.Text, w) {
+			t.Errorf("Figure 10 missing %s", w)
+		}
+	}
+}
+
+func TestFigure13Quick(t *testing.T) {
+	res, err := RunFigure13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "DTCM peak saving") {
+		t.Fatalf("Figure 13 incomplete:\n%s", res.Text)
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	res, err := RunFigure5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "90-100") {
+		t.Fatalf("Figure 5 missing buckets:\n%s", res.Text)
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	res, err := RunFigure8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "SQLite-100MB") {
+		t.Fatalf("Figure 8 missing size rows:\n%s", res.Text)
+	}
+}
+
+func TestFigure9Quick(t *testing.T) {
+	res, err := RunFigure9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"PostgreSQL-small", "MySQL-large"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("Figure 9 missing %q", s)
+		}
+	}
+}
+
+func TestFigure11Quick(t *testing.T) {
+	res, err := RunFigure11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"SQLite-Pstate36", "SQLite-Pstate12"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("Figure 11 missing %q", s)
+		}
+	}
+}
+
+func TestExtensionNoSQLQuick(t *testing.T) {
+	res, err := RunExtensionNoSQL(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"HashKV", "LSMKV", "ycsb-c"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X1 missing %q:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestExtensionDVFSQuick(t *testing.T) {
+	res, err := RunExtensionDVFS(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"index scan", "table scan", "stall-aware"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X2 missing %q:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestExtensionWritesQuick(t *testing.T) {
+	res, err := RunExtensionWrites(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"bulk update", "WAL recs", "SQLite"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X4 missing %q:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestExtensionArchSweepQuick(t *testing.T) {
+	res, err := RunExtensionArchSweep(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"stock", "Arch 1", "-40% L1D energy"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X5 missing %q:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestExtensionITCMQuick(t *testing.T) {
+	res, err := RunExtensionITCM(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "+ DTCM + ITCM") {
+		t.Fatalf("X3 incomplete:\n%s", res.Text)
+	}
+}

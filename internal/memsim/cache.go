@@ -1,0 +1,91 @@
+package memsim
+
+// cache is a set-associative cache with true-LRU replacement. Only tags are
+// tracked: the simulator models placement and movement, not contents.
+type cache struct {
+	sets     int
+	ways     int
+	setMask  uint64
+	tags     []uint64 // sets*ways entries; tag 0 is represented via valid bits
+	valid    []bool
+	lastUsed []uint64 // LRU timestamps
+	tick     uint64
+	latency  int
+}
+
+func newCache(cfg CacheConfig) *cache {
+	if !cfg.Present() {
+		return nil
+	}
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("memsim: cache set count must be a positive power of two")
+	}
+	n := sets * cfg.Ways
+	return &cache{
+		sets:     sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		lastUsed: make([]uint64, n),
+		latency:  cfg.LatencyCycles,
+	}
+}
+
+// lookup probes for the line and refreshes LRU state on a hit.
+func (c *cache) lookup(line uint64) bool {
+	set := int(line&c.setMask) * c.ways
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.tick++
+			c.lastUsed[i] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// contains probes without disturbing LRU state (used by the prefetcher).
+func (c *cache) contains(line uint64) bool {
+	set := int(line&c.setMask) * c.ways
+	for i := set; i < set+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts the line, evicting the LRU way if the set is full. It returns
+// the evicted line and whether an eviction happened.
+func (c *cache) fill(line uint64) (evicted uint64, didEvict bool) {
+	set := int(line&c.setMask) * c.ways
+	victim := set
+	for i := set; i < set+c.ways; i++ {
+		if !c.valid[i] {
+			victim = i
+			didEvict = false
+			goto place
+		}
+		if c.lastUsed[i] < c.lastUsed[victim] {
+			victim = i
+		}
+	}
+	evicted = c.tags[victim]
+	didEvict = true
+place:
+	c.tick++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lastUsed[victim] = c.tick
+	return evicted, didEvict
+}
+
+// reset empties the cache.
+func (c *cache) reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.tick = 0
+}

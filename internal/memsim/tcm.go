@@ -1,0 +1,25 @@
+package memsim
+
+// TCMConfig describes tightly-coupled-memory windows: fixed-address, on-chip
+// scratchpad memory that is as fast as the L1D cache but cheaper to access,
+// as in the ARM1176JZF-S whose 32KB DTCM the paper's proof-of-concept system
+// exploits (Section 4.1). Accesses inside a TCM window bypass the cache
+// hierarchy entirely: they never miss, never evict, and never stall beyond
+// the fixed latency.
+type TCMConfig struct {
+	// DataBase and DataSize delimit the DTCM window.
+	DataBase uint64
+	DataSize uint64
+	// InstrBase and InstrSize delimit the ITCM window (modelled for the
+	// Section 5 instruction-energy discussion; unused by the DB engines).
+	InstrBase uint64
+	InstrSize uint64
+	// LatencyCycles is the fixed access latency (equal to L1D latency on
+	// the ARM1176JZF-S).
+	LatencyCycles int
+}
+
+// InData reports whether addr falls inside the DTCM window.
+func (t *TCMConfig) InData(addr uint64) bool {
+	return t != nil && addr >= t.DataBase && addr-t.DataBase < t.DataSize
+}

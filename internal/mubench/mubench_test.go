@@ -1,0 +1,166 @@
+package mubench
+
+import (
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/rapl"
+)
+
+func newRunner(t *testing.T, scale float64) *Runner {
+	t.Helper()
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	meter := rapl.NewMeter(m, 42, 0) // noise-free for behavioural tests
+	r := NewRunner(m, meter)
+	r.Scale = scale
+	return r
+}
+
+func runByName(t *testing.T, r *Runner, name string) Result {
+	t.Helper()
+	s, err := FindSpec(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Run(s)
+}
+
+// TestTable1Behaviors checks that each micro-benchmark reproduces the
+// runtime behaviour the paper reports in Table 1: the right memory layer
+// and the right IPC regime.
+func TestTable1Behaviors(t *testing.T) {
+	r := newRunner(t, 0.02)
+
+	res := runByName(t, r, "B_L1D_list")
+	if mr := res.Counters.L1DMissRate(); mr > 0.001 {
+		t.Errorf("B_L1D_list L1D miss rate = %.4f, want ~0.0001", mr)
+	}
+	if ipc := res.Counters.IPC(); ipc < 0.22 || ipc > 0.30 {
+		t.Errorf("B_L1D_list IPC = %.3f, want ~0.26", ipc)
+	}
+
+	res = runByName(t, r, "B_L1D_array")
+	if mr := res.Counters.L1DMissRate(); mr > 0.001 {
+		t.Errorf("B_L1D_array L1D miss rate = %.4f", mr)
+	}
+	if ipc := res.Counters.IPC(); ipc < 1.85 || ipc > 2.15 {
+		t.Errorf("B_L1D_array IPC = %.3f, want ~2.0", ipc)
+	}
+	if res.Counters.StallCycles != 0 {
+		t.Errorf("B_L1D_array stalled %d cycles, want 0", res.Counters.StallCycles)
+	}
+
+	res = runByName(t, r, "B_L2")
+	if mr := res.Counters.L1DMissRate(); mr < 0.95 {
+		t.Errorf("B_L2 L1D miss rate = %.3f, want >0.95", mr)
+	}
+	if mr := res.Counters.L2MissRate(); mr > 0.05 {
+		t.Errorf("B_L2 L2 miss rate = %.4f, want ~0", mr)
+	}
+
+	res = runByName(t, r, "B_L3")
+	if mr := res.Counters.L2MissRate(); mr < 0.95 {
+		t.Errorf("B_L3 L2 miss rate = %.3f, want >0.95", mr)
+	}
+	if mr := res.Counters.L3MissRate(); mr > 0.05 {
+		t.Errorf("B_L3 L3 miss rate = %.4f, want ~0", mr)
+	}
+
+	res = runByName(t, r, "B_mem")
+	if mr := res.Counters.L3MissRate(); mr < 0.90 {
+		t.Errorf("B_mem L3 miss rate = %.3f, want >0.90 (paper: 97.45%%)", mr)
+	}
+	if ipc := res.Counters.IPC(); ipc > 0.02 {
+		t.Errorf("B_mem IPC = %.4f, want ~0.005", ipc)
+	}
+
+	res = runByName(t, r, "B_Reg2L1D")
+	if hr := res.Counters.StoreL1DHitRate(); hr < 0.999 {
+		t.Errorf("B_Reg2L1D store hit rate = %.4f, want ~0.9999", hr)
+	}
+	if ipc := res.Counters.IPC(); ipc < 0.95 || ipc > 1.1 {
+		t.Errorf("B_Reg2L1D IPC = %.3f, want ~1.0", ipc)
+	}
+
+	res = runByName(t, r, "B_add")
+	if ipc := res.Counters.IPC(); ipc < 1.9 || ipc > 2.1 {
+		t.Errorf("B_add IPC = %.3f, want ~2.0", ipc)
+	}
+	res = runByName(t, r, "B_nop")
+	if ipc := res.Counters.IPC(); ipc < 3.8 || ipc > 4.1 {
+		t.Errorf("B_nop IPC = %.3f, want ~4.0", ipc)
+	}
+}
+
+func TestBLIMatchesTable1Regime(t *testing.T) {
+	r := newRunner(t, 0.02)
+	for _, name := range []string{"B_L1D_list", "B_L1D_array", "B_L2", "B_mem", "B_Reg2L1D"} {
+		res := runByName(t, r, name)
+		if res.BLI < 97.0 || res.BLI > 100.0 {
+			t.Errorf("%s BLI = %.2f%%, want 97-100%% (Table 1)", name, res.BLI)
+		}
+	}
+}
+
+func TestActiveEnergyPositiveAndBelowBusy(t *testing.T) {
+	r := newRunner(t, 0.02)
+	for _, s := range MBS() {
+		res := r.Run(s)
+		if res.EActive <= 0 {
+			t.Errorf("%s EActive = %v, want > 0", s.Name, res.EActive)
+		}
+		if res.EActive >= res.EBusy {
+			t.Errorf("%s EActive %v >= EBusy %v", s.Name, res.EActive, res.EBusy)
+		}
+	}
+}
+
+func TestVMBSCompositesIssueVerificationInstructions(t *testing.T) {
+	r := newRunner(t, 0.02)
+	res := runByName(t, r, "B_L1D_list_nop")
+	if res.Counters.NopOps == 0 {
+		t.Error("B_L1D_list_nop issued no nops")
+	}
+	res = runByName(t, r, "B_L1D_array_add")
+	if res.Counters.AddOps == 0 {
+		t.Error("B_L1D_array_add issued no adds")
+	}
+	res = runByName(t, r, "B_L1D_list_L2")
+	// The pair benchmark must hit both L1D and L2.
+	if res.Counters.L1DHits == 0 || res.Counters.L2Hits == 0 {
+		t.Errorf("B_L1D_list_L2 counters: %+v", res.Counters)
+	}
+}
+
+func TestRandomLayoutIsAPermutation(t *testing.T) {
+	specs, err := FindSpec("B_L2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	w := newWalker(m.Hier, specs)
+	seen := make(map[uint32]bool, len(w.order))
+	for _, idx := range w.order {
+		if seen[idx] {
+			t.Fatalf("duplicate index %d in layout", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != int(specs.MemBytes/64) {
+		t.Fatalf("layout covers %d items, want %d", len(seen), specs.MemBytes/64)
+	}
+}
+
+func TestFindSpecUnknown(t *testing.T) {
+	if _, err := FindSpec("B_bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := runByName(t, newRunner(t, 0.02), "B_L2")
+	b := runByName(t, newRunner(t, 0.02), "B_L2")
+	if a.Counters != b.Counters || a.EActive != b.EActive {
+		t.Fatal("identical runs differ")
+	}
+}

@@ -1,0 +1,146 @@
+package nosql
+
+import (
+	"fmt"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/memsim"
+)
+
+// valueLogRecordOverhead is the per-record header in the value log.
+const valueLogRecordOverhead = 16
+
+// HashKV is a Redis-style in-memory key-value store: an open-chaining hash
+// index whose entries point into a value log. Point lookups are pointer
+// chases across an index that is much larger than the caches — the weak
+// locality that distinguishes KV point reads from relational scans.
+type HashKV struct {
+	m     *cpusim.Machine
+	arena *memsim.Arena
+
+	buckets    int
+	bucketBase uint64
+	logBase    uint64
+	logOff     uint64
+	logCap     uint64
+
+	// table maps key -> value-log address and length (Go-side contents;
+	// the simulated addresses drive the energy model).
+	table map[string]logEntry
+	// chainLen approximates bucket chain lengths for probe simulation.
+	chainLen []uint8
+
+	// hot is the dispatch state touched on every command (request
+	// parsing, command table), like a real server's hot path.
+	hot uint64
+	// Cost knobs.
+	HotLoadsPerOp  int
+	HotStoresPerOp int
+	InstrPerOp     int
+}
+
+type logEntry struct {
+	addr uint64
+	size int
+	val  string
+}
+
+// bucketBytes is the simulated size of one hash bucket head.
+const bucketBytes = 16
+
+// NewHashKV sizes the store for the expected number of keys.
+func NewHashKV(m *cpusim.Machine, expectKeys int, valueBytes int) *HashKV {
+	buckets := 1
+	for buckets < expectKeys*2 {
+		buckets *= 2
+	}
+	logCap := uint64(expectKeys) * uint64(valueBytes+valueLogRecordOverhead) * 2
+	arena := memsim.NewArena(1<<35, uint64(buckets)*bucketBytes+logCap+(1<<20))
+	kv := &HashKV{
+		m:              m,
+		arena:          arena,
+		buckets:        buckets,
+		table:          make(map[string]logEntry, expectKeys),
+		chainLen:       make([]uint8, buckets),
+		HotLoadsPerOp:  24,
+		HotStoresPerOp: 8,
+		InstrPerOp:     90,
+	}
+	kv.bucketBase = arena.Alloc(uint64(buckets)*bucketBytes, memsim.PageSize)
+	kv.logBase = arena.Alloc(logCap, memsim.PageSize)
+	kv.logCap = logCap
+	kv.hot = arena.Alloc(512, memsim.PageSize)
+	return kv
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// opOverhead simulates the per-command hot path.
+func (kv *HashKV) opOverhead() {
+	h := kv.m.Hier
+	h.LoadRepeat(kv.hot, uint64(kv.HotLoadsPerOp))
+	h.StoreRepeat(kv.hot+memsim.LineSize, uint64(kv.HotStoresPerOp))
+	h.Exec(uint64(kv.InstrPerOp), memsim.InstrOther)
+}
+
+// Put stores a value.
+func (kv *HashKV) Put(key, val string) error {
+	kv.opOverhead()
+	h := kv.m.Hier
+	b := hashString(key) % uint64(kv.buckets)
+	h.Load(kv.bucketBase+b*bucketBytes, true) // bucket head probe
+	size := len(val) + valueLogRecordOverhead
+	if kv.logOff+uint64(size) > kv.logCap {
+		return fmt.Errorf("nosql: value log full")
+	}
+	addr := kv.logBase + kv.logOff
+	kv.logOff += uint64(align(size))
+	h.StoreRange(addr, uint64(size)) // append to the log
+	h.Store(kv.bucketBase + b*bucketBytes)
+	if old, ok := kv.table[key]; !ok {
+		if kv.chainLen[b] < 255 {
+			kv.chainLen[b]++
+		}
+		_ = old
+	}
+	kv.table[key] = logEntry{addr: addr, size: size, val: val}
+	return nil
+}
+
+// Get fetches a value; found=false when the key is absent. The simulated
+// access pattern is a dependent chase: bucket head, chain entries, then the
+// value record (usually DRAM-resident at realistic store sizes).
+func (kv *HashKV) Get(key string) (string, bool) {
+	kv.opOverhead()
+	h := kv.m.Hier
+	b := hashString(key) % uint64(kv.buckets)
+	h.Load(kv.bucketBase+b*bucketBytes, true)
+	// Chain walk: each link is a dependent load.
+	for i := uint8(1); i < kv.chainLen[b]; i++ {
+		h.Load(kv.bucketBase+(b^uint64(i)*7)%uint64(kv.buckets)*bucketBytes, true)
+	}
+	e, ok := kv.table[key]
+	if !ok {
+		return "", false
+	}
+	// First value line is a dependent load; the rest stream.
+	h.Load(e.addr, true)
+	if e.size > memsim.LineSize {
+		h.LoadRange(e.addr+memsim.LineSize, uint64(e.size-memsim.LineSize))
+	}
+	return e.val, true
+}
+
+// Len returns the number of live keys.
+func (kv *HashKV) Len() int { return len(kv.table) }
+
+func align(n int) int {
+	return (n + memsim.LineSize - 1) &^ (memsim.LineSize - 1)
+}

@@ -1,0 +1,155 @@
+package nosql
+
+import (
+	"fmt"
+
+	"energydb/internal/cpusim"
+)
+
+// Store is the interface both engines satisfy for the workload drivers.
+type Store interface {
+	Get(key string) (string, bool)
+}
+
+// Workload is a YCSB-shaped driver.
+type Workload struct {
+	Name string
+	// ReadFraction of operations are Gets; the rest are Puts.
+	ReadFraction float64
+	// Zipfian skew; 0 means uniform.
+	Theta float64
+	// Ops is the operation count at scale 1.
+	Ops int
+}
+
+// Workloads returns the YCSB-style mixes used by the X1 experiment:
+// C (read-only, zipfian), B (95% reads, zipfian) and a uniform read-only
+// variant that defeats even popularity locality.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "ycsb-c (zipf reads)", ReadFraction: 1.0, Theta: 0.99, Ops: 60_000},
+		{Name: "ycsb-b (95/5 zipf)", ReadFraction: 0.95, Theta: 0.99, Ops: 60_000},
+		{Name: "uniform reads", ReadFraction: 1.0, Theta: 0, Ops: 60_000},
+	}
+}
+
+// Key formats the i'th key.
+func Key(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// Value builds a deterministic value of the given size.
+func Value(i, size int) string {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte('a' + (i+j)%26)
+	}
+	return string(b)
+}
+
+// Putter is the write half of the store interface.
+type Putter interface {
+	Put(key, val string) error
+}
+
+// lsmPutter adapts LSMKV's error-free Put.
+type lsmPutter struct{ kv *LSMKV }
+
+func (p lsmPutter) Put(key, val string) error { p.kv.Put(key, val); return nil }
+func (p lsmPutter) Get(key string) (string, bool) {
+	return p.kv.Get(key)
+}
+
+// EngineKind selects a store flavour.
+type EngineKind int
+
+// Store flavours.
+const (
+	HashEngine EngineKind = iota
+	LSMEngine
+)
+
+// String names the flavour.
+func (k EngineKind) String() string {
+	if k == HashEngine {
+		return "HashKV"
+	}
+	return "LSMKV"
+}
+
+// Instance is a loaded store ready to run workloads.
+type Instance struct {
+	Kind  EngineKind
+	Keys  int
+	Value int
+
+	hash *HashKV
+	lsm  *LSMKV
+}
+
+// NewInstance builds and bulk-loads a store with nKeys keys of valueBytes
+// values.
+func NewInstance(kind EngineKind, m *cpusim.Machine, nKeys, valueBytes int) (*Instance, error) {
+	inst := &Instance{Kind: kind, Keys: nKeys, Value: valueBytes}
+	switch kind {
+	case HashEngine:
+		inst.hash = NewHashKV(m, nKeys, valueBytes)
+		for i := 0; i < nKeys; i++ {
+			if err := inst.hash.Put(Key(i), Value(i, valueBytes)); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		inst.lsm = NewLSMKV(m, nKeys/8+1, nKeys, valueBytes)
+		for i := 0; i < nKeys; i++ {
+			inst.lsm.Put(Key(i), Value(i, valueBytes))
+		}
+		inst.lsm.Flush()
+	}
+	return inst, nil
+}
+
+// Get reads one key.
+func (inst *Instance) Get(key string) (string, bool) {
+	if inst.hash != nil {
+		return inst.hash.Get(key)
+	}
+	return inst.lsm.Get(key)
+}
+
+// Put writes one key.
+func (inst *Instance) Put(key, val string) error {
+	if inst.hash != nil {
+		return inst.hash.Put(key, val)
+	}
+	inst.lsm.Put(key, val)
+	return nil
+}
+
+// Run drives the workload against the instance; scale rescales the
+// operation count. It returns the number of operations executed and an
+// error on any failed read of a loaded key.
+func (inst *Instance) Run(w Workload, scale float64) (int, error) {
+	ops := int(float64(w.Ops) * scale)
+	if ops < 1 {
+		ops = 1
+	}
+	var keys interface{ Next() int }
+	if w.Theta > 0 {
+		keys = NewZipf(inst.Keys, w.Theta, 12345)
+	} else {
+		keys = NewUniform(inst.Keys, 12345)
+	}
+	mix := NewUniform(1000, 777)
+	for i := 0; i < ops; i++ {
+		k := Key(keys.Next())
+		if float64(mix.Next())/1000 < w.ReadFraction {
+			if _, ok := inst.Get(k); !ok {
+				return i, fmt.Errorf("nosql: loaded key %q missing", k)
+			}
+		} else {
+			if err := inst.Put(k, Value(i, inst.Value)); err != nil {
+				return i, err
+			}
+		}
+	}
+	return ops, nil
+}

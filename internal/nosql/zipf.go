@@ -1,0 +1,91 @@
+// Package nosql implements the paper's stated future work (Section 7):
+// profiling the energy distribution of NoSQL systems with the same micro
+// analysis. Two key-value engines are built on the simulated machine — a
+// Redis-style in-memory hash store and a LevelDB-style LSM store — plus
+// YCSB-shaped workloads to drive them.
+//
+// The interesting outcome (reproduced by the X1 experiment in the harness)
+// is that the L1D bottleneck is *not* universal: point-read KV workloads
+// have far weaker locality than relational scans, shifting energy toward
+// DRAM and stall — evidence for the paper's claim that per-system micro
+// analysis is needed before choosing a customized architecture.
+package nosql
+
+import "math"
+
+// Zipf is a deterministic Zipfian key-index generator (YCSB's skewed
+// access pattern) over [0, n). It uses the classic rejection-free inverse
+// CDF approximation with a fixed linear-congruential stream so runs are
+// reproducible.
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	state uint64
+}
+
+// NewZipf builds a generator over n items with skew theta (YCSB default
+// 0.99; 0 would be uniform — use Uniform for that).
+func NewZipf(n int, theta float64, seed uint64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{n: n, theta: theta, state: seed*2862933555777941757 + 3037000493}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// next returns a uniform float64 in [0, 1).
+func (z *Zipf) nextFloat() float64 {
+	z.state = z.state*6364136223846793005 + 1442695040888963407
+	return float64(z.state>>11) / float64(1<<53)
+}
+
+// Next returns the next key index, most-popular-first.
+func (z *Zipf) Next() int {
+	u := z.nextFloat()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// Uniform is a deterministic uniform key-index generator.
+type Uniform struct {
+	n     int
+	state uint64
+}
+
+// NewUniform builds a uniform generator over [0, n).
+func NewUniform(n int, seed uint64) *Uniform {
+	if n < 1 {
+		n = 1
+	}
+	return &Uniform{n: n, state: seed*0x9E3779B97F4A7C15 + 1}
+}
+
+// Next returns the next key index.
+func (u *Uniform) Next() int {
+	u.state = u.state*6364136223846793005 + 1442695040888963407
+	return int(u.state>>33) % u.n
+}

@@ -1,0 +1,179 @@
+// Package perfmon exposes the simulator's PMU under perf-style named
+// events, playing the role Linux perf / ocperf plays in the paper
+// (Section 2.4): it supplies the micro-operation counts N_m that the
+// energy-breakdown model consumes.
+package perfmon
+
+import (
+	"fmt"
+	"sort"
+
+	"energydb/internal/memsim"
+)
+
+// Event names a countable hardware event. The names follow the ocperf
+// conventions for the events the paper monitors.
+type Event string
+
+// Supported events.
+const (
+	// Demand load hierarchy events. The paper's N_m for m in
+	// {L1D, L2, L3} is hits + misses at that level; N_mem is the last
+	// level's miss count.
+	EvL1DAccesses Event = "mem_load_uops.l1_access"
+	EvL1DHits     Event = "mem_load_uops.l1_hit"
+	EvL1DMisses   Event = "mem_load_uops.l1_miss"
+	EvL2Accesses  Event = "mem_load_uops.l2_access"
+	EvL2Hits      Event = "mem_load_uops.l2_hit"
+	EvL2Misses    Event = "mem_load_uops.l2_miss"
+	EvL3Accesses  Event = "mem_load_uops.l3_access"
+	EvL3Hits      Event = "mem_load_uops.l3_hit"
+	EvL3Misses    Event = "mem_load_uops.l3_miss"
+	EvMemAccesses Event = "mem_load_uops.dram"
+
+	// L2 streamer prefetches into L2 and into L3 (the two countable
+	// prefetch flavours on the i7-4790).
+	EvPrefetchL2 Event = "l2_pf_fill.l2"
+	EvPrefetchL3 Event = "l2_pf_fill.l3"
+
+	// Store events; the Reg2L1D hit count is the paper's N_Reg2L1D.
+	EvStores       Event = "mem_store_uops.all"
+	EvStoreL1DHits Event = "mem_store_uops.l1_hit"
+
+	// TCM events (ARM profile).
+	EvTCMLoads  Event = "tcm.loads"
+	EvTCMStores Event = "tcm.stores"
+
+	// Cycle and instruction events.
+	EvStallCycles  Event = "cycle_activity.stalls_mem_any"
+	EvCycles       Event = "cpu_clk_unhalted.thread"
+	EvInstructions Event = "inst_retired.any"
+	EvLoads        Event = "mem_load_uops.all"
+	EvAddOps       Event = "uops_executed.add"
+	EvNopOps       Event = "uops_executed.nop"
+	EvOtherOps     Event = "uops_executed.other"
+)
+
+// read maps each event onto the PMU snapshot.
+func read(c memsim.Counters, e Event) (uint64, bool) {
+	switch e {
+	case EvL1DAccesses:
+		return c.L1DAccesses, true
+	case EvL1DHits:
+		return c.L1DHits, true
+	case EvL1DMisses:
+		return c.L1DMisses, true
+	case EvL2Accesses:
+		return c.L2Accesses, true
+	case EvL2Hits:
+		return c.L2Hits, true
+	case EvL2Misses:
+		return c.L2Misses, true
+	case EvL3Accesses:
+		return c.L3Accesses, true
+	case EvL3Hits:
+		return c.L3Hits, true
+	case EvL3Misses:
+		return c.L3Misses, true
+	case EvMemAccesses:
+		return c.MemAccesses, true
+	case EvPrefetchL2:
+		return c.PrefetchL2, true
+	case EvPrefetchL3:
+		return c.PrefetchL3, true
+	case EvStores:
+		return c.Stores, true
+	case EvStoreL1DHits:
+		return c.StoreL1DHits, true
+	case EvTCMLoads:
+		return c.TCMLoads, true
+	case EvTCMStores:
+		return c.TCMStores, true
+	case EvStallCycles:
+		return c.StallCycles, true
+	case EvCycles:
+		return c.Cycles(), true
+	case EvInstructions:
+		return c.Instructions(), true
+	case EvLoads:
+		return c.Loads, true
+	case EvAddOps:
+		return c.AddOps, true
+	case EvNopOps:
+		return c.NopOps, true
+	case EvOtherOps:
+		return c.OtherOps, true
+	default:
+		return 0, false
+	}
+}
+
+// allEvents lists every supported event.
+var allEvents = []Event{
+	EvL1DAccesses, EvL1DHits, EvL1DMisses,
+	EvL2Accesses, EvL2Hits, EvL2Misses,
+	EvL3Accesses, EvL3Hits, EvL3Misses,
+	EvMemAccesses, EvPrefetchL2, EvPrefetchL3,
+	EvStores, EvStoreL1DHits, EvTCMLoads, EvTCMStores,
+	EvStallCycles, EvCycles, EvInstructions, EvLoads,
+	EvAddOps, EvNopOps, EvOtherOps,
+}
+
+// Supported returns the names of all supported events, sorted.
+func Supported() []Event {
+	out := make([]Event, len(allEvents))
+	copy(out, allEvents)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counter counts a set of events over a region of execution, like a perf
+// counting session.
+type Counter struct {
+	h      *memsim.Hierarchy
+	events []Event
+	start  memsim.Counters
+	open   bool
+}
+
+// NewCounter validates the event list and prepares a counting session.
+func NewCounter(h *memsim.Hierarchy, events ...Event) (*Counter, error) {
+	for _, e := range events {
+		if _, ok := read(memsim.Counters{}, e); !ok {
+			return nil, fmt.Errorf("perfmon: unsupported event %q", e)
+		}
+	}
+	return &Counter{h: h, events: events}, nil
+}
+
+// Start begins (or restarts) counting.
+func (c *Counter) Start() {
+	c.start = c.h.Counters()
+	c.open = true
+}
+
+// Stop ends the session and returns the per-event deltas.
+func (c *Counter) Stop() (map[Event]uint64, error) {
+	if !c.open {
+		return nil, fmt.Errorf("perfmon: Stop without Start")
+	}
+	c.open = false
+	delta := c.h.Counters().Sub(c.start)
+	out := make(map[Event]uint64, len(c.events))
+	for _, e := range c.events {
+		v, _ := read(delta, e)
+		out[e] = v
+	}
+	return out, nil
+}
+
+// Snapshot reads all supported events cumulatively.
+func Snapshot(h *memsim.Hierarchy) map[Event]uint64 {
+	c := h.Counters()
+	out := make(map[Event]uint64, len(allEvents))
+	for _, e := range allEvents {
+		v, _ := read(c, e)
+		out[e] = v
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package perfmon
+
+import (
+	"testing"
+
+	"energydb/internal/memsim"
+)
+
+func TestCounterDeltas(t *testing.T) {
+	h := memsim.New(memsim.I7_4790())
+	c, err := NewCounter(h, EvL1DAccesses, EvMemAccesses, EvInstructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Load(0x40, true) // outside the session
+	c.Start()
+	h.Load(0x40, true)
+	h.Load(0x80, true)
+	got, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[EvL1DAccesses] != 2 {
+		t.Fatalf("L1D accesses = %d, want 2", got[EvL1DAccesses])
+	}
+	if got[EvMemAccesses] != 1 {
+		t.Fatalf("mem accesses = %d, want 1 (first line already cached)", got[EvMemAccesses])
+	}
+	if got[EvInstructions] != 2 {
+		t.Fatalf("instructions = %d, want 2", got[EvInstructions])
+	}
+}
+
+func TestUnknownEventRejected(t *testing.T) {
+	h := memsim.New(memsim.I7_4790())
+	if _, err := NewCounter(h, Event("bogus.event")); err == nil {
+		t.Fatal("expected error for unknown event")
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	h := memsim.New(memsim.I7_4790())
+	c, _ := NewCounter(h, EvCycles)
+	if _, err := c.Stop(); err == nil {
+		t.Fatal("expected error for Stop without Start")
+	}
+}
+
+func TestSnapshotCoversAllEvents(t *testing.T) {
+	h := memsim.New(memsim.I7_4790())
+	h.Load(0x40, false)
+	h.Store(0x40)
+	h.Exec(3, memsim.InstrNop)
+	snap := Snapshot(h)
+	if len(snap) != len(Supported()) {
+		t.Fatalf("snapshot has %d events, supported %d", len(snap), len(Supported()))
+	}
+	if snap[EvLoads] != 1 || snap[EvStores] != 1 || snap[EvNopOps] != 3 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+}
+
+func TestEveryAdvertisedEventReadable(t *testing.T) {
+	h := memsim.New(memsim.I7_4790())
+	for _, e := range Supported() {
+		if _, err := NewCounter(h, e); err != nil {
+			t.Fatalf("advertised event %q rejected: %v", e, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/memsim"
+)
+
+func TestReadingIsQuantizedAndCumulative(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	mt := NewMeter(m, 1, 0)
+	r0 := mt.Read()
+	m.Hier.Exec(10_000_000, memsim.InstrAdd)
+	r1 := mt.Read()
+	if r1.Package <= r0.Package {
+		t.Fatal("package counter did not advance")
+	}
+	lsbMultiple := r1.Package / raplLSB
+	if math.Abs(lsbMultiple-math.Round(lsbMultiple)) > 1e-6 {
+		t.Fatalf("reading %v is not an LSB multiple", r1.Package)
+	}
+}
+
+func TestSessionMeasuresDelta(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	mt := NewMeter(m, 1, 0) // no noise
+	s := mt.Begin()
+	m.Hier.Exec(50_000_000, memsim.InstrAdd)
+	got := s.End()
+	// 50M adds at 1.03nJ plus background over the busy time.
+	wantActive := 50e6 * 1.03e-9
+	if got.Energy.Core < wantActive {
+		t.Fatalf("core energy %v below active floor %v", got.Energy.Core, wantActive)
+	}
+	if got.Seconds <= 0 {
+		t.Fatal("session has no duration")
+	}
+}
+
+func TestSessionNoiseIsBoundedAndDeterministic(t *testing.T) {
+	run := func(seed int64) Measurement {
+		m := cpusim.NewMachine(cpusim.IntelI7_4790())
+		mt := NewMeter(m, seed, DefaultNoise)
+		s := mt.Begin()
+		m.Hier.Exec(80_000_000, memsim.InstrAdd)
+		return s.End()
+	}
+	a, b := run(7), run(7)
+	if a.Energy != b.Energy {
+		t.Fatal("same seed must give identical measurements")
+	}
+	c := run(8)
+	if a.Energy == c.Energy {
+		t.Fatal("different seeds should perturb measurements")
+	}
+	// Bounded: within amp*(1+1/4) of the noise-free value.
+	clean := run(0)
+	mNoNoise := cpusim.NewMachine(cpusim.IntelI7_4790())
+	mt := NewMeter(mNoNoise, 0, 0)
+	s := mt.Begin()
+	mNoNoise.Hier.Exec(80_000_000, memsim.InstrAdd)
+	truth := s.End()
+	reldiff := math.Abs(clean.Energy.Core-truth.Energy.Core) / truth.Energy.Core
+	if reldiff > DefaultNoise*1.3 {
+		t.Fatalf("noise %.4f exceeds bound", reldiff)
+	}
+}
+
+func TestBackgroundPowerMatchesProfile(t *testing.T) {
+	prof := cpusim.IntelI7_4790()
+	m := cpusim.NewMachine(prof)
+	mt := NewMeter(m, 1, DefaultNoise)
+	bg := mt.BackgroundPower(1.0)
+	if math.Abs(bg.Core-prof.Background.Core) > 0.01 {
+		t.Fatalf("core background = %v, want about %v", bg.Core, prof.Background.Core)
+	}
+	wantPkg := prof.Background.Core + prof.Background.PackageExtra
+	if math.Abs(bg.Package-wantPkg) > 0.01 {
+		t.Fatalf("package background = %v, want about %v", bg.Package, wantPkg)
+	}
+	// Measuring background must not disturb the target machine.
+	if m.WallSeconds() != 0 {
+		t.Fatal("BackgroundPower advanced the target machine")
+	}
+}
+
+func TestPowerMeterMeasuresTotal(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.ARM1176())
+	pm := NewPowerMeter(m, 3, 0)
+	j, s := pm.MeasureSession(func() {
+		m.Hier.Exec(200_000_000, memsim.InstrAdd)
+	})
+	if j <= 0 || s <= 0 {
+		t.Fatalf("measurement = %vJ %vs", j, s)
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if DomainCore.String() != "core" || DomainPackage.String() != "package" || DomainDRAM.String() != "dram" {
+		t.Fatal("domain names wrong")
+	}
+}

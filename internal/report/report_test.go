@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"energydb/internal/harness"
+)
+
+func sampleResult() harness.Result {
+	return harness.Result{
+		ID:    "F7",
+		Title: "Figure 7",
+		Text:  "Database  Query ...",
+		CSV: "Database,Query,E_L1D%,E_Reg2L1D%,E_L2%,E_L3%,E_mem%,E_pf%,E_stall%,E_other%\n" +
+			"SQLite,Q1,34.8,34.4,0.4,0.0,0.0,0.7,0.7,29.0\n" +
+			"MySQL,Q1,23.7,17.4,0.2,0.0,0.1,4.8,0.6,53.2\n",
+	}
+}
+
+func TestHTMLContainsChartForBreakdownCSV(t *testing.T) {
+	doc := HTML("title", []harness.Result{sampleResult()})
+	for _, want := range []string{"<svg", "SQLite / Q1", "E_L1D", "<!DOCTYPE html>", "Figure 7"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Shares become rect widths: 34.8% of 560 = 194.9.
+	if !strings.Contains(doc, `width="194.9"`) {
+		t.Error("stacked bar widths not rendered")
+	}
+}
+
+func TestHTMLSkipsChartForNonBreakdownCSV(t *testing.T) {
+	res := harness.Result{
+		ID: "T2", Title: "Table 2", Text: "dE_L1D ...",
+		CSV: "Micro-operation,P36 (nJ)\ndE_L1D,1.31\n",
+	}
+	doc := HTML("t", []harness.Result{res})
+	if strings.Contains(doc, "<svg") {
+		t.Error("non-breakdown CSV produced a chart")
+	}
+	if !strings.Contains(doc, "dE_L1D") {
+		t.Error("table text missing")
+	}
+}
+
+func TestHTMLEscapes(t *testing.T) {
+	res := harness.Result{ID: "x", Title: "<script>", Text: "a < b", CSV: ""}
+	doc := HTML("<t>", []harness.Result{res})
+	if strings.Contains(doc, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(doc, "a &lt; b") {
+		t.Error("text not escaped")
+	}
+}
+
+func TestEndToEndWithRealExperiment(t *testing.T) {
+	o := harness.DefaultOptions()
+	o.Quick = true
+	exp, err := harness.ByID("F10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := HTML("report", []harness.Result{res})
+	if !strings.Contains(doc, "<svg") || !strings.Contains(doc, "Mcf") {
+		t.Fatal("real experiment did not chart")
+	}
+}

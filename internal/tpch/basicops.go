@@ -1,0 +1,129 @@
+package tpch
+
+import (
+	"fmt"
+
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+)
+
+// BasicOp is one of the seven basic query operations of Section 3.2, whose
+// Active-energy breakdowns Figure 6 reports.
+type BasicOp struct {
+	Name  string
+	Build func(e *engine.Engine) (exec.Operator, error)
+}
+
+// BasicOps returns the seven operations in the paper's figure order:
+// select, projection, join, sort, groupby, table scan, index scan.
+func BasicOps() []BasicOp {
+	return []BasicOp{
+		{"select", opSelect},
+		{"projection", opProjection},
+		{"join", opJoin},
+		{"sort", opSort},
+		{"groupby", opGroupBy},
+		{"table scan", opTableScan},
+		{"index scan", opIndexScan},
+	}
+}
+
+// BasicOpByName fetches one operation.
+func BasicOpByName(name string) (BasicOp, error) {
+	for _, op := range BasicOps() {
+		if op.Name == name {
+			return op, nil
+		}
+	}
+	return BasicOp{}, fmt.Errorf("tpch: no basic operation %q", name)
+}
+
+// opSelect: selective predicate scan over lineitem.
+func opSelect(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	return e.Scan(li, exec.BinOp{Op: exec.OpAnd,
+		L: exec.BinOp{Op: exec.OpGt,
+			L: exec.Col{Idx: li.Schema().MustColIndex("l_quantity"), Name: "l_quantity"},
+			R: exec.Const{V: vf(45)}},
+		R: exec.BinOp{Op: exec.OpLt,
+			L: exec.Col{Idx: li.Schema().MustColIndex("l_discount"), Name: "l_discount"},
+			R: exec.Const{V: vf(0.03)}},
+	}), nil
+}
+
+// opProjection: arithmetic projection over every lineitem row.
+func opProjection(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	scan := e.Scan(li, nil)
+	return &exec.Project{Ctx: e.Ctx, Child: scan,
+		Exprs: []exec.Expr{
+			col(scan, "l_orderkey"),
+			revenue(scan),
+			exec.BinOp{Op: exec.OpMul, L: col(scan, "l_quantity"), R: col(scan, "l_tax")},
+		},
+		Names: []string{"l_orderkey", "revenue", "taxed_qty"}}, nil
+}
+
+// opJoin: orders ⋈ lineitem, the workhorse equijoin.
+func opJoin(e *engine.Engine) (exec.Operator, error) {
+	ord, err := e.Table("orders")
+	if err != nil {
+		return nil, err
+	}
+	li := e.MustTable("lineitem")
+	oScan := e.Scan(ord, nil)
+	return e.EquiJoin(oScan, oScan.Schema().MustColIndex("o_orderkey"), li, "l_orderkey", nil), nil
+}
+
+// opSort: order lineitem by extended price.
+func opSort(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	scan := e.Scan(li, nil)
+	return e.Sort(scan, []exec.SortKey{
+		{Expr: col(scan, "l_extendedprice"), Desc: true},
+	}), nil
+}
+
+// opGroupBy: aggregate lineitem by (returnflag, shipmode).
+func opGroupBy(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	scan := e.Scan(li, nil)
+	return e.GroupBy(scan,
+		[]exec.Expr{col(scan, "l_returnflag"), col(scan, "l_shipmode")},
+		[]exec.AggSpec{
+			{Kind: exec.AggSum, Arg: col(scan, "l_quantity"), Name: "sum_qty"},
+			{Kind: exec.AggCount, Name: "n"},
+		}), nil
+}
+
+// opTableScan: the full sequential scan, no predicate.
+func opTableScan(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	return e.Scan(li, nil), nil
+}
+
+// opIndexScan: B-tree range scan with random heap fetches over the same
+// rows the table scan streams — the locality contrast of Section 3.3.
+func opIndexScan(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := vd(MkDate(1993, 0)), vd(MkDate(1996, 0))
+	return e.IndexRange(li, "l_shipdate", ptr(lo), ptr(hi), nil)
+}

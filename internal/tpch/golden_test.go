@@ -1,0 +1,106 @@
+package tpch
+
+import (
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+)
+
+// goldenRowCounts10MB pins the result cardinality of every query on the
+// deterministic 10MB dataset. Any change to the generator, the executor or
+// a plan that alters results will trip this test.
+var goldenRowCounts10MB = map[int]int{
+	1: 4, 2: 0, 3: 10, 4: 5, 5: 4, 6: 1, 7: 3, 8: 2, 9: 127, 10: 20,
+	11: 8, 12: 2, 13: 16, 14: 1, 15: 1, 16: 27, 17: 1, 18: 100, 19: 1,
+	20: 1, 21: 1, 22: 7,
+}
+
+func TestGoldenRowCounts(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	Setup(e, Size10MB)
+	for _, q := range Queries() {
+		plan, err := q.Build(e)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		n, err := e.Run(plan)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		if want := goldenRowCounts10MB[q.ID]; n != want {
+			t.Errorf("Q%d rows = %d, want %d", q.ID, n, want)
+		}
+	}
+}
+
+// TestMostQueriesProduceRows guards against silently-empty plans: at the
+// 100MB class all but the most selective query should return data.
+func TestMostQueriesProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100MB load in -short mode")
+	}
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.PostgreSQL, m, engine.SettingBaseline)
+	Setup(e, Size100MB)
+	empty := 0
+	for _, q := range Queries() {
+		plan, err := q.Build(e)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		n, err := e.Run(plan)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		if n == 0 {
+			empty++
+			t.Logf("Q%d returned no rows", q.ID)
+		}
+	}
+	if empty > 1 {
+		t.Errorf("%d queries returned no rows at 100MB", empty)
+	}
+}
+
+func TestColorNamesEnableQ9(t *testing.T) {
+	d := Generate(Size10MB, 7421)
+	green := 0
+	for _, r := range d.Part {
+		name := r[1].S
+		if contains(name, "green") {
+			green++
+		}
+	}
+	if green == 0 {
+		t.Fatal("no part names contain 'green'; Q9 would be empty")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNationCoverage(t *testing.T) {
+	d := Generate(Size10MB, 7421)
+	supNations := map[int64]bool{}
+	for _, r := range d.Supplier {
+		supNations[r[2].AsInt()] = true
+	}
+	if len(supNations) != 25 {
+		t.Fatalf("suppliers cover %d nations, want all 25", len(supNations))
+	}
+	custNations := map[int64]bool{}
+	for _, r := range d.Customer {
+		custNations[r[2].AsInt()] = true
+	}
+	if len(custNations) != 25 {
+		t.Fatalf("customers cover %d nations, want all 25", len(custNations))
+	}
+}

@@ -1,0 +1,314 @@
+package tpch
+
+import (
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/value"
+)
+
+// q12: shipmode/priority classification over a receipt-date year.
+func q12(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	ord := e.MustTable("orders")
+	sch := li.Schema()
+	shipmode := exec.Col{Idx: sch.MustColIndex("l_shipmode"), Name: "l_shipmode"}
+	commit := exec.Col{Idx: sch.MustColIndex("l_commitdate"), Name: "l_commitdate"}
+	receipt := exec.Col{Idx: sch.MustColIndex("l_receiptdate"), Name: "l_receiptdate"}
+	ship := exec.Col{Idx: sch.MustColIndex("l_shipdate"), Name: "l_shipdate"}
+
+	pred := exec.BinOp{Op: exec.OpAnd,
+		L: exec.InList{E: shipmode, List: []value.Value{vs("MAIL"), vs("SHIP")}},
+		R: exec.BinOp{Op: exec.OpAnd,
+			L: exec.BinOp{Op: exec.OpAnd,
+				L: exec.BinOp{Op: exec.OpLt, L: commit, R: receipt},
+				R: exec.BinOp{Op: exec.OpLt, L: ship, R: commit}},
+			R: exec.Between(receipt, vd(MkDate(1994, 0)), vd(MkDate(1995, 0))),
+		},
+	}
+	liScan := e.Scan(li, pred)
+	j := e.EquiJoin(liScan, liScan.Schema().MustColIndex("l_orderkey"), ord, "o_orderkey", nil)
+	isUrgent := exec.InList{E: col(j, "o_orderpriority"),
+		List: []value.Value{vs("1-URGENT"), vs("2-HIGH")}}
+	g := e.GroupBy(j, []exec.Expr{col(j, "l_shipmode")},
+		[]exec.AggSpec{
+			{Kind: exec.AggSum, Arg: isUrgent, Name: "high_line_count"},
+			{Kind: exec.AggSum, Arg: exec.Not{E: isUrgent}, Name: "low_line_count"},
+		})
+	return e.Sort(g, []exec.SortKey{{Expr: col(g, "g0")}}), nil
+}
+
+// q13: customer order-count distribution (zero-order customers omitted:
+// the engine has no outer join; see DESIGN.md).
+func q13(e *engine.Engine) (exec.Operator, error) {
+	ord, err := e.Table("orders")
+	if err != nil {
+		return nil, err
+	}
+	oScan := e.Scan(ord, exec.Not{E: exec.Like{
+		E:       exec.Col{Idx: ord.Schema().MustColIndex("o_orderpriority"), Name: "o_orderpriority"},
+		Pattern: "%special%"}})
+	perCust := e.GroupBy(oScan, []exec.Expr{col(oScan, "o_custkey")},
+		[]exec.AggSpec{{Kind: exec.AggCount, Name: "c_count"}})
+	hist := e.GroupBy(perCust, []exec.Expr{col(perCust, "c_count")},
+		[]exec.AggSpec{{Kind: exec.AggCount, Name: "custdist"}})
+	return e.Sort(hist, []exec.SortKey{
+		{Expr: col(hist, "custdist"), Desc: true},
+		{Expr: col(hist, "g0"), Desc: true},
+	}), nil
+}
+
+// q14: promotion revenue share over one month.
+func q14(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	part := e.MustTable("part")
+	liScan := e.Scan(li, exec.Between(
+		exec.Col{Idx: li.Schema().MustColIndex("l_shipdate"), Name: "l_shipdate"},
+		vd(MkDate(1995, 243)), vd(MkDate(1995, 273))))
+	j := e.EquiJoin(liScan, liScan.Schema().MustColIndex("l_partkey"), part, "p_partkey", nil)
+	isPromo := exec.Like{E: col(j, "p_type"), Pattern: "PROMO%"}
+	g := e.GroupBy(j, nil, []exec.AggSpec{
+		{Kind: exec.AggSum, Arg: exec.BinOp{Op: exec.OpMul, L: isPromo, R: revenue(j)}, Name: "promo_rev"},
+		{Kind: exec.AggSum, Arg: revenue(j), Name: "total_rev"},
+	})
+	return &exec.Project{Ctx: e.Ctx, Child: g,
+		Exprs: []exec.Expr{exec.BinOp{Op: exec.OpMul,
+			L: exec.Const{V: vf(100)},
+			R: exec.BinOp{Op: exec.OpDiv, L: col(g, "promo_rev"), R: col(g, "total_rev")}}},
+		Names: []string{"promo_revenue"}}, nil
+}
+
+// q15: top supplier by quarterly revenue.
+func q15(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	sup := e.MustTable("supplier")
+	liScan := e.Scan(li, exec.Between(
+		exec.Col{Idx: li.Schema().MustColIndex("l_shipdate"), Name: "l_shipdate"},
+		vd(MkDate(1996, 0)), vd(MkDate(1996, 90))))
+	g := e.GroupBy(liScan, []exec.Expr{col(liScan, "l_suppkey")},
+		[]exec.AggSpec{{Kind: exec.AggSum, Arg: revenue(liScan), Name: "total_revenue"}})
+	s := e.Sort(g, []exec.SortKey{{Expr: col(g, "total_revenue"), Desc: true}})
+	top := &exec.Limit{Child: s, N: 1}
+	// Join the top revenue row back to supplier for the name columns.
+	j := e.EquiJoin(top, 0 /* g0 = l_suppkey */, sup, "s_suppkey", nil)
+	return j, nil
+}
+
+// q16: part/supplier relationship counts with exclusion filters.
+func q16(e *engine.Engine) (exec.Operator, error) {
+	ps, err := e.Table("partsupp")
+	if err != nil {
+		return nil, err
+	}
+	part := e.MustTable("part")
+	pScan := e.Scan(part, exec.BinOp{Op: exec.OpAnd,
+		L: exec.BinOp{Op: exec.OpNe,
+			L: exec.Col{Idx: part.Schema().MustColIndex("p_brand"), Name: "p_brand"},
+			R: exec.Const{V: vs("Brand#45")}},
+		R: exec.BinOp{Op: exec.OpAnd,
+			L: exec.Not{E: exec.Like{
+				E:       exec.Col{Idx: part.Schema().MustColIndex("p_type"), Name: "p_type"},
+				Pattern: "MEDIUM POLISHED%"}},
+			R: exec.InList{
+				E:    exec.Col{Idx: part.Schema().MustColIndex("p_size"), Name: "p_size"},
+				List: []value.Value{vi(3), vi(9), vi(14), vi(19), vi(23), vi(36), vi(45), vi(49)},
+			},
+		},
+	})
+	j := e.EquiJoin(pScan, pScan.Schema().MustColIndex("p_partkey"), ps, "ps_partkey", nil)
+	g := e.GroupBy(j,
+		[]exec.Expr{col(j, "p_brand"), col(j, "p_type"), col(j, "p_size")},
+		[]exec.AggSpec{{Kind: exec.AggCount, Name: "supplier_cnt"}})
+	return e.Sort(g, []exec.SortKey{
+		{Expr: col(g, "supplier_cnt"), Desc: true},
+		{Expr: col(g, "g0")}, {Expr: col(g, "g1")}, {Expr: col(g, "g2")},
+	}), nil
+}
+
+// q17: small-quantity-order revenue: two-pass plan with a per-part average.
+func q17(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	part := e.MustTable("part")
+
+	// Pass 1: average quantity per part for the brand/container slice.
+	pScan := e.Scan(part, exec.BinOp{Op: exec.OpAnd,
+		L: exec.BinOp{Op: exec.OpEq,
+			L: exec.Col{Idx: part.Schema().MustColIndex("p_brand"), Name: "p_brand"},
+			R: exec.Const{V: vs("Brand#23")}},
+		R: exec.BinOp{Op: exec.OpEq,
+			L: exec.Col{Idx: part.Schema().MustColIndex("p_container"), Name: "p_container"},
+			R: exec.Const{V: vs("MED BOX")}},
+	})
+	j1 := e.EquiJoin(pScan, pScan.Schema().MustColIndex("p_partkey"), li, "l_partkey", nil)
+	avg := e.GroupBy(j1, []exec.Expr{col(j1, "p_partkey")},
+		[]exec.AggSpec{{Kind: exec.AggAvg, Arg: col(j1, "l_quantity"), Name: "avg_qty"}})
+
+	// Pass 2: rows below 20% of their part's average quantity.
+	j2 := e.EquiJoin(avg, 0 /* g0 = p_partkey */, li, "l_partkey",
+		nil)
+	f := &exec.Filter{Ctx: e.Ctx, Child: j2, Pred: exec.BinOp{Op: exec.OpLt,
+		L: col(j2, "l_quantity"),
+		R: exec.BinOp{Op: exec.OpMul, L: exec.Const{V: vf(0.2)}, R: col(j2, "avg_qty")}}}
+	g := e.GroupBy(f, nil, []exec.AggSpec{
+		{Kind: exec.AggSum, Arg: col(f, "l_extendedprice"), Name: "sum_price"}})
+	return &exec.Project{Ctx: e.Ctx, Child: g,
+		Exprs: []exec.Expr{exec.BinOp{Op: exec.OpDiv, L: col(g, "sum_price"), R: exec.Const{V: vf(7)}}},
+		Names: []string{"avg_yearly"}}, nil
+}
+
+// q18: large-volume customers (having sum(l_quantity) > threshold).
+func q18(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	ord := e.MustTable("orders")
+	cust := e.MustTable("customer")
+
+	liScan := e.Scan(li, nil)
+	perOrder := e.GroupBy(liScan, []exec.Expr{col(liScan, "l_orderkey")},
+		[]exec.AggSpec{{Kind: exec.AggSum, Arg: col(liScan, "l_quantity"), Name: "sum_qty"}})
+	big := &exec.Filter{Ctx: e.Ctx, Child: perOrder, Pred: exec.BinOp{Op: exec.OpGt,
+		L: col(perOrder, "sum_qty"), R: exec.Const{V: vf(180)}}}
+	j1 := e.EquiJoin(big, 0 /* g0 = l_orderkey */, ord, "o_orderkey", nil)
+	j2 := e.EquiJoin(j1, j1.Schema().MustColIndex("o_custkey"), cust, "c_custkey", nil)
+	s := e.Sort(j2, []exec.SortKey{
+		{Expr: col(j2, "o_totalprice"), Desc: true},
+		{Expr: col(j2, "o_orderdate")},
+	})
+	return &exec.Limit{Child: s, N: 100}, nil
+}
+
+// q19: discounted revenue with OR-of-ANDs part predicates.
+func q19(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	part := e.MustTable("part")
+	sch := li.Schema()
+	qty := exec.Col{Idx: sch.MustColIndex("l_quantity"), Name: "l_quantity"}
+	liScan := e.Scan(li, exec.BinOp{Op: exec.OpAnd,
+		L: exec.InList{
+			E:    exec.Col{Idx: sch.MustColIndex("l_shipinstruct"), Name: "l_shipinstruct"},
+			List: []value.Value{vs("DELIVER IN PERSON")}},
+		R: exec.InList{
+			E:    exec.Col{Idx: sch.MustColIndex("l_shipmode"), Name: "l_shipmode"},
+			List: []value.Value{vs("AIR"), vs("REG AIR")}},
+	})
+	j := e.EquiJoin(liScan, liScan.Schema().MustColIndex("l_partkey"), part, "p_partkey", nil)
+	size := col(j, "p_size")
+	brand := col(j, "p_brand")
+	clause := func(b string, qLo, qHi, sHi float64) exec.Expr {
+		return exec.BinOp{Op: exec.OpAnd,
+			L: exec.BinOp{Op: exec.OpEq, L: brand, R: exec.Const{V: vs(b)}},
+			R: exec.BinOp{Op: exec.OpAnd,
+				L: exec.Between(qty, vf(qLo), vf(qHi)),
+				R: exec.Between(size, vf(1), vf(sHi))},
+		}
+	}
+	pred := exec.BinOp{Op: exec.OpOr,
+		L: clause("Brand#12", 1, 12, 6),
+		R: exec.BinOp{Op: exec.OpOr,
+			L: clause("Brand#23", 10, 21, 11),
+			R: clause("Brand#34", 20, 31, 16)},
+	}
+	f := &exec.Filter{Ctx: e.Ctx, Child: j, Pred: pred}
+	return e.GroupBy(f, nil, []exec.AggSpec{
+		{Kind: exec.AggSum, Arg: revenue(f), Name: "revenue"}}), nil
+}
+
+// q20: suppliers with excess stock of a part family, two-pass.
+func q20(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	ps := e.MustTable("partsupp")
+	sup := e.MustTable("supplier")
+	nat := e.MustTable("nation")
+
+	liScan := e.Scan(li, exec.Between(
+		exec.Col{Idx: li.Schema().MustColIndex("l_shipdate"), Name: "l_shipdate"},
+		vd(MkDate(1994, 0)), vd(MkDate(1995, 0))))
+	shipped := e.GroupBy(liScan,
+		[]exec.Expr{col(liScan, "l_partkey"), col(liScan, "l_suppkey")},
+		[]exec.AggSpec{{Kind: exec.AggSum, Arg: col(liScan, "l_quantity"), Name: "sum_qty"}})
+	j1 := e.EquiJoin(shipped, 0 /* g0 = l_partkey */, ps, "ps_partkey", nil)
+	f := &exec.Filter{Ctx: e.Ctx, Child: j1, Pred: exec.BinOp{Op: exec.OpGt,
+		L: col(j1, "ps_availqty"),
+		R: exec.BinOp{Op: exec.OpMul, L: exec.Const{V: vf(0.5)}, R: col(j1, "sum_qty")}}}
+	j2 := e.EquiJoin(f, f.Schema().MustColIndex("ps_suppkey"), sup, "s_suppkey", nil)
+	j3 := e.EquiJoin(j2, j2.Schema().MustColIndex("s_nationkey"), nat, "n_nationkey",
+		exec.BinOp{Op: exec.OpEq,
+			L: exec.Col{Idx: j2.Schema().Concat(nat.Schema()).MustColIndex("n_name"), Name: "n_name"},
+			R: exec.Const{V: vs("CANADA")}})
+	g := e.GroupBy(j3, []exec.Expr{col(j3, "s_name")},
+		[]exec.AggSpec{{Kind: exec.AggCount, Name: "parts"}})
+	return e.Sort(g, []exec.SortKey{{Expr: col(g, "g0")}}), nil
+}
+
+// q21: suppliers who kept orders waiting (single-supplier simplification).
+func q21(e *engine.Engine) (exec.Operator, error) {
+	li, err := e.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	sup := e.MustTable("supplier")
+	ord := e.MustTable("orders")
+	nat := e.MustTable("nation")
+
+	late := e.Scan(li, nil)
+	f1 := &exec.Filter{Ctx: e.Ctx, Child: late, Pred: exec.BinOp{Op: exec.OpGt,
+		L: col(late, "l_receiptdate"), R: col(late, "l_commitdate")}}
+	j1 := e.EquiJoin(f1, f1.Schema().MustColIndex("l_orderkey"), ord, "o_orderkey",
+		nil)
+	f2 := &exec.Filter{Ctx: e.Ctx, Child: j1, Pred: exec.BinOp{Op: exec.OpEq,
+		L: col(j1, "o_orderstatus"), R: exec.Const{V: vs("F")}}}
+	j2 := e.EquiJoin(f2, f2.Schema().MustColIndex("l_suppkey"), sup, "s_suppkey", nil)
+	j3 := e.EquiJoin(j2, j2.Schema().MustColIndex("s_nationkey"), nat, "n_nationkey",
+		exec.BinOp{Op: exec.OpEq,
+			L: exec.Col{Idx: j2.Schema().Concat(nat.Schema()).MustColIndex("n_name"), Name: "n_name"},
+			R: exec.Const{V: vs("SAUDI ARABIA")}})
+	g := e.GroupBy(j3, []exec.Expr{col(j3, "s_name")},
+		[]exec.AggSpec{{Kind: exec.AggCount, Name: "numwait"}})
+	s := e.Sort(g, []exec.SortKey{
+		{Expr: col(g, "numwait"), Desc: true}, {Expr: col(g, "g0")},
+	})
+	return &exec.Limit{Child: s, N: 100}, nil
+}
+
+// q22: global sales opportunity (anti-join approximated by the activity
+// histogram; see DESIGN.md).
+func q22(e *engine.Engine) (exec.Operator, error) {
+	cust, err := e.Table("customer")
+	if err != nil {
+		return nil, err
+	}
+	sch := cust.Schema()
+	phone := exec.Col{Idx: sch.MustColIndex("c_phone"), Name: "c_phone"}
+	acctbal := exec.Col{Idx: sch.MustColIndex("c_acctbal"), Name: "c_acctbal"}
+	cScan := e.Scan(cust, exec.BinOp{Op: exec.OpAnd,
+		L: exec.InList{E: strPrefix{E: phone, N: 2},
+			List: []value.Value{vs("13"), vs("31"), vs("23"), vs("29"), vs("30"), vs("18"), vs("17")}},
+		R: exec.BinOp{Op: exec.OpGt, L: acctbal, R: exec.Const{V: vf(0)}},
+	})
+	g := e.GroupBy(cScan,
+		[]exec.Expr{strPrefix{E: col(cScan, "c_phone"), N: 2}},
+		[]exec.AggSpec{
+			{Kind: exec.AggCount, Name: "numcust"},
+			{Kind: exec.AggSum, Arg: col(cScan, "c_acctbal"), Name: "totacctbal"},
+		})
+	return e.Sort(g, []exec.SortKey{{Expr: col(g, "g0")}}), nil
+}

@@ -1,0 +1,215 @@
+package tpch
+
+import (
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+)
+
+// testEngine loads the smallest class into an engine of the given kind.
+func testEngine(t *testing.T, kind engine.Kind) *engine.Engine {
+	t.Helper()
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(kind, m, engine.SettingBaseline)
+	Setup(e, Size10MB)
+	return e
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Size10MB, 7421)
+	b := Generate(Size10MB, 7421)
+	if a.Rows() != b.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Rows(), b.Rows())
+	}
+	for i := range a.Lineitem {
+		for j := range a.Lineitem[i] {
+			if a.Lineitem[i][j] != b.Lineitem[i][j] {
+				t.Fatalf("lineitem[%d][%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCardinalitiesScale(t *testing.T) {
+	small := CardinalitiesFor(Size100MB)
+	big := CardinalitiesFor(Size1GB)
+	if big.Lineitem <= small.Lineitem*5 {
+		t.Fatalf("1GB lineitem %d should be ~10x of 100MB %d", big.Lineitem, small.Lineitem)
+	}
+	if small.Nation != 25 || small.Region != 5 {
+		t.Fatal("fixed tables must keep TPC-H cardinalities")
+	}
+}
+
+func TestGeneratedKeysAreValid(t *testing.T) {
+	d := Generate(Size10MB, 1)
+	card := CardinalitiesFor(Size10MB)
+	for _, r := range d.Lineitem {
+		if k := r[0].AsInt(); k < 0 || k >= int64(len(d.Orders)) {
+			t.Fatalf("l_orderkey %d out of range", k)
+		}
+		if k := r[1].AsInt(); k < 0 || k >= int64(len(d.Part)) {
+			t.Fatalf("l_partkey %d out of range", k)
+		}
+		if k := r[2].AsInt(); k < 0 || k >= int64(len(d.Supplier)) {
+			t.Fatalf("l_suppkey %d out of range", k)
+		}
+	}
+	for _, r := range d.Orders {
+		if k := r[1].AsInt(); k < 0 || k >= int64(card.Customer) {
+			t.Fatalf("o_custkey %d out of range", k)
+		}
+	}
+}
+
+func TestLoadBuildsTablesAndIndexes(t *testing.T) {
+	e := testEngine(t, engine.SQLite)
+	if e.Tables() != 8 {
+		t.Fatalf("tables = %d, want 8", e.Tables())
+	}
+	li := e.MustTable("lineitem")
+	if li.File.RowCount() == 0 {
+		t.Fatal("lineitem empty")
+	}
+	if li.Index("l_orderkey") == nil || li.Index("l_shipdate") == nil {
+		t.Fatal("lineitem indexes missing")
+	}
+}
+
+// TestAllQueriesRunOnAllEngines is the big integration check: every query
+// plan builds and drains on every engine profile, and row counts agree
+// across engines (same data, same semantics, different physical plans).
+func TestAllQueriesRunOnAllEngines(t *testing.T) {
+	counts := make(map[int]map[engine.Kind]int)
+	for _, kind := range engine.Kinds() {
+		e := testEngine(t, kind)
+		for _, q := range Queries() {
+			plan, err := q.Build(e)
+			if err != nil {
+				t.Fatalf("%v Q%d build: %v", kind, q.ID, err)
+			}
+			n, err := e.Run(plan)
+			if err != nil {
+				t.Fatalf("%v Q%d run: %v", kind, q.ID, err)
+			}
+			if counts[q.ID] == nil {
+				counts[q.ID] = make(map[engine.Kind]int)
+			}
+			counts[q.ID][kind] = n
+		}
+	}
+	for id, byKind := range counts {
+		pg := byKind[engine.PostgreSQL]
+		for kind, n := range byKind {
+			if n != pg {
+				t.Errorf("Q%d row count differs: %v=%d PostgreSQL=%d", id, kind, n, pg)
+			}
+		}
+	}
+}
+
+func TestQ1ProducesKnownGroups(t *testing.T) {
+	e := testEngine(t, engine.PostgreSQL)
+	q, err := QueryByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := q.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// returnflag in {A,N,R} x linestatus in {F,O}: at most 6, at least 3.
+	if len(rows) < 3 || len(rows) > 6 {
+		t.Fatalf("Q1 groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		count := r[len(r)-1].AsInt()
+		if count <= 0 {
+			t.Fatalf("Q1 group with non-positive count: %v", r)
+		}
+	}
+}
+
+func TestQ6SelectivityIsPlausible(t *testing.T) {
+	e := testEngine(t, engine.SQLite)
+	q, _ := QueryByID(6)
+	plan, err := q.Build(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("Q6 rows = %d, want 1 scalar", len(rows))
+	}
+	if rows[0][0].AsFloat() <= 0 {
+		t.Fatalf("Q6 revenue = %v, want positive", rows[0][0])
+	}
+}
+
+func TestBasicOpsRun(t *testing.T) {
+	e := testEngine(t, engine.MySQL)
+	for _, op := range BasicOps() {
+		plan, err := op.Build(e)
+		if err != nil {
+			t.Fatalf("%s build: %v", op.Name, err)
+		}
+		n, err := e.Run(plan)
+		if err != nil {
+			t.Fatalf("%s run: %v", op.Name, err)
+		}
+		if n == 0 && op.Name != "select" {
+			t.Errorf("%s produced no rows", op.Name)
+		}
+	}
+	if _, err := BasicOpByName("bogus"); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+}
+
+func TestIndexScanMatchesTableScanFilterCount(t *testing.T) {
+	e := testEngine(t, engine.PostgreSQL)
+	li := e.MustTable("lineitem")
+	lo, hi := vd(MkDate(1993, 0)), vd(MkDate(1996, 0))
+	idxPlan, err := e.IndexRange(li, "l_shipdate", ptr(lo), ptr(hi), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIdx, err := e.Run(idxPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanPlan := e.Scan(li, exec.BinOp{Op: exec.OpAnd,
+		L: exec.BinOp{Op: exec.OpGe,
+			L: exec.Col{Idx: li.Schema().MustColIndex("l_shipdate")}, R: exec.Const{V: vd(MkDate(1993, 0))}},
+		R: exec.BinOp{Op: exec.OpLe,
+			L: exec.Col{Idx: li.Schema().MustColIndex("l_shipdate")}, R: exec.Const{V: vd(MkDate(1996, 0))}},
+	})
+	nScan, err := e.Run(scanPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nIdx != nScan {
+		t.Fatalf("index scan %d rows, table scan %d rows", nIdx, nScan)
+	}
+	if nIdx == 0 {
+		t.Fatal("range matched nothing")
+	}
+}
+
+func TestMkDate(t *testing.T) {
+	if MkDate(1992, 0) != 0 {
+		t.Fatal("epoch wrong")
+	}
+	if MkDate(1995, 74) != 3*365+74 {
+		t.Fatal("1995-03-15 wrong")
+	}
+}
