@@ -1,0 +1,33 @@
+# Build/verify entry points. `make check` is the gate for server-layer
+# changes: vet everything, run the full test suite, then re-run the
+# concurrency surface (server + db) under the race detector.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench fuzz
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race-detector pass covers the packages with real concurrency: the
+# server (sessions, scheduler, ledgers) and the engine layers it drives.
+race:
+	$(GO) test -race ./internal/server/... ./internal/db/...
+
+check: vet test race
+
+# Scaling baseline for future PRs (see internal/server/bench_test.go).
+bench:
+	$(GO) test -run xxx -bench BenchmarkServerThroughput -benchtime 2s ./internal/server/
+
+# Short fuzz pass over the wire protocol decoder.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/server/wire/

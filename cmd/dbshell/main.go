@@ -2,12 +2,21 @@
 // engine with TPC-H data loaded, printing a per-query energy breakdown
 // after every statement — the paper's methodology at a prompt.
 //
+// By default the shell simulates locally. With -connect (or the \connect
+// meta command) it becomes a remote client of a running energyd server,
+// and the breakdown printed after each statement is the server-attributed
+// per-session energy report.
+//
 // Usage:
 //
 //	dbshell -db sqlite -class 10MB
 //	> SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag
 //	> \tables
 //	> \quit
+//
+//	dbshell -connect localhost:7683 -db mysql -class 100MB
+//	> \q6
+//	> \disconnect
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"energydb/internal/db/value"
 	"energydb/internal/mubench"
 	"energydb/internal/rapl"
+	"energydb/internal/server/client"
+	"energydb/internal/server/wire"
 	"energydb/internal/tpch"
 )
 
@@ -34,6 +45,7 @@ func main() {
 		classFlag = flag.String("class", "10MB", "dataset class: 10MB, 100MB, 500MB, 1GB")
 		setting   = flag.String("setting", "baseline", "knobs: small, baseline, large")
 		maxRows   = flag.Int("rows", 20, "max rows displayed per query")
+		connect   = flag.String("connect", "", "connect to a running energyd at host:port instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -50,21 +62,20 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("Calibrating the i7-4790 energy model...\n")
-	m := cpusim.NewMachine(cpusim.IntelI7_4790())
-	meter := rapl.NewMeter(m, 42, rapl.DefaultNoise)
-	runner := mubench.NewRunner(m, meter)
-	runner.Scale = 0.1
-	cal, err := core.Calibrate(runner)
-	if err != nil {
+	sh := &shell{
+		kind:    kind,
+		class:   class,
+		setting: set,
+		maxRows: *maxRows,
+	}
+	if *connect != "" {
+		if err := sh.dial(*connect); err != nil {
+			fatal(err)
+		}
+	} else if err := sh.setupLocal(); err != nil {
 		fatal(err)
 	}
-	prof := core.NewProfiler(m, meter, cal)
-
-	fmt.Printf("Loading TPC-H %s into the %v profile (%v knobs)...\n", class, kind, set)
-	e := engine.New(kind, m, set)
-	tpch.Setup(e, class)
-	fmt.Println(`Ready. End statements with a newline; \tables lists tables; \quit exits.`)
+	fmt.Println(`Ready. End statements with a newline; \tables lists tables; \connect <addr> goes remote; \quit exits.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -73,96 +84,265 @@ func main() {
 		if !in.Scan() {
 			break
 		}
-		line := strings.TrimSpace(in.Text())
-		switch {
-		case line == "":
-			continue
-		case line == `\quit` || line == `\q`:
+		if !sh.dispatch(strings.TrimSpace(in.Text())) {
 			return
-		case strings.HasPrefix(line, `\q`) && len(line) > 2:
-			// \q<N> runs TPC-H query N with the energy breakdown.
-			var id int
-			if _, err := fmt.Sscanf(line, `\q%d`, &id); err != nil {
-				fmt.Println("error: use \\q<N> with N in 1..22")
-				continue
-			}
-			q, err := tpch.QueryByID(id)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			plan, err := q.Build(e)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			var rows int
-			var runErr error
-			b := prof.Profile(q.Name, func() { rows, runErr = e.Run(plan) })
-			if runErr != nil {
-				fmt.Println("error:", runErr)
-				continue
-			}
-			fmt.Printf("TPC-H Q%d (%s): %d rows\n", id, q.Name, rows)
-			printBreakdown(b)
-			continue
-		case line == `\tables`:
-			for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
-				t, err := e.Table(name)
-				if err != nil {
-					continue
-				}
-				fmt.Printf("  %-10s %8d rows  cols: %s\n", name, t.File.RowCount(), strings.Join(t.Schema().Names(), ", "))
-			}
-			continue
 		}
+	}
+	// A failed scan is either EOF (fine) or a real input error — an
+	// oversized line, a broken pipe — which must not vanish silently.
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbshell: input error:", err)
+		os.Exit(1)
+	}
+}
 
-		stmt, err := sql.Parse(line)
-		if err != nil {
+// shell holds either a local measurement stack or a remote energyd session
+// (or both, when \connect follows local statements).
+type shell struct {
+	kind    engine.Kind
+	class   tpch.SizeClass
+	setting engine.Setting
+	maxRows int
+
+	// Local mode (lazily built).
+	eng  *engine.Engine
+	prof *core.Profiler
+
+	// Remote mode.
+	remote *client.Conn
+}
+
+// dispatch handles one input line; it returns false when the shell should
+// exit.
+func (sh *shell) dispatch(line string) bool {
+	switch {
+	case line == "":
+		return true
+	case line == `\quit` || line == `\q`:
+		if sh.remote != nil {
+			sh.remote.Close()
+		}
+		return false
+	case strings.HasPrefix(line, `\connect`):
+		arg := strings.TrimSpace(strings.TrimPrefix(line, `\connect`))
+		if arg == "" {
+			fmt.Println(`error: use \connect host:port`)
+			return true
+		}
+		if err := sh.dial(arg); err != nil {
 			fmt.Println("error:", err)
-			continue
 		}
-		plan, err := sql.Plan(e, stmt)
+		return true
+	case line == `\disconnect`:
+		if sh.remote == nil {
+			fmt.Println("not connected")
+			return true
+		}
+		sh.remote.Close()
+		sh.remote = nil
+		fmt.Println("disconnected; statements now simulate locally")
+		return true
+	case line == `\tables`:
+		sh.tables()
+		return true
+	}
+	if sh.remote != nil {
+		sh.remoteQuery(line)
+		return true
+	}
+	if strings.HasPrefix(line, `\q`) {
+		sh.localTPCH(line)
+		return true
+	}
+	sh.localSQL(line)
+	return true
+}
+
+// dial opens a remote session with the shell's engine parameters.
+func (sh *shell) dial(addr string) error {
+	conn, err := client.Dial(addr, client.Options{
+		Engine:  sh.kind.String(),
+		Setting: sh.setting.String(),
+		Class:   sh.class.String(),
+	})
+	if err != nil {
+		return err
+	}
+	if sh.remote != nil {
+		sh.remote.Close()
+	}
+	sh.remote = conn
+	ack := conn.Info()
+	fmt.Printf("connected to %s: %s / %s knobs / TPC-H %s (%d tables), session %d\n",
+		addr, ack.Engine, ack.Setting, ack.Class, ack.Tables, ack.SessionID)
+	return nil
+}
+
+// setupLocal calibrates the machine and loads the dataset (once).
+func (sh *shell) setupLocal() error {
+	if sh.eng != nil {
+		return nil
+	}
+	fmt.Printf("Calibrating the i7-4790 energy model...\n")
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	meter := rapl.NewMeter(m, 42, rapl.DefaultNoise)
+	runner := mubench.NewRunner(m, meter)
+	runner.Scale = 0.1
+	cal, err := core.Calibrate(runner)
+	if err != nil {
+		return err
+	}
+	sh.prof = core.NewProfiler(m, meter, cal)
+	fmt.Printf("Loading TPC-H %s into the %v profile (%v knobs)...\n", sh.class, sh.kind, sh.setting)
+	sh.eng = engine.New(sh.kind, m, sh.setting)
+	tpch.Setup(sh.eng, sh.class)
+	return nil
+}
+
+// remoteQuery routes one statement (SQL or \qN) to the server and renders
+// the rows plus the server-attributed energy report.
+func (sh *shell) remoteQuery(line string) {
+	res, err := sh.remote.Query(line)
+	if err != nil {
+		fmt.Println("error:", err)
+		if _, ok := err.(*client.QueryError); !ok {
+			// Transport failure: the session is gone.
+			sh.remote.Close()
+			sh.remote = nil
+			fmt.Println("connection lost; statements now simulate locally")
+		}
+		return
+	}
+	sh.printRows(res.Cols, res.Rows)
+	printRemoteBreakdown(res.Energy)
+}
+
+// localTPCH runs \q<N> against the local engine with the energy breakdown.
+func (sh *shell) localTPCH(line string) {
+	var id int
+	if _, err := fmt.Sscanf(line, `\q%d`, &id); err != nil {
+		fmt.Println("error: use \\q<N> with N in 1..22")
+		return
+	}
+	if err := sh.setupLocal(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	q, err := tpch.QueryByID(id)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := q.Build(sh.eng)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var rows int
+	var runErr error
+	b := sh.prof.Profile(q.Name, func() { rows, runErr = sh.eng.Run(plan) })
+	if runErr != nil {
+		fmt.Println("error:", runErr)
+		return
+	}
+	fmt.Printf("TPC-H Q%d (%s): %d rows\n", id, q.Name, rows)
+	printBreakdown(b)
+}
+
+// localSQL parses, plans and profiles one SQL statement locally.
+func (sh *shell) localSQL(line string) {
+	if err := sh.setupLocal(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	stmt, err := sql.Parse(line)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := sql.Plan(sh.eng, stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var rows []value.Row
+	var runErr error
+	b := sh.prof.Profile("query", func() {
+		// Rows are collected (not printed) inside the measured
+		// region, matching the paper's display-disabled runs.
+		rows, runErr = exec.Collect(plan)
+	})
+	if runErr != nil {
+		fmt.Println("error:", runErr)
+		return
+	}
+	sh.printRows(plan.Schema().Names(), rows)
+	printBreakdown(b)
+}
+
+func (sh *shell) printRows(names []string, rows []value.Row) {
+	fmt.Println(strings.Join(names, " | "))
+	for i, r := range rows {
+		if i >= sh.maxRows {
+			fmt.Printf("... (%d more)\n", len(rows)-i)
+			break
+		}
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}
+
+func (sh *shell) tables() {
+	if sh.remote != nil {
+		ack := sh.remote.Info()
+		fmt.Printf("remote %s/%s: TPC-H %s, %d tables (region, nation, supplier, customer, part, partsupp, orders, lineitem)\n",
+			ack.Engine, ack.Setting, ack.Class, ack.Tables)
+		return
+	}
+	if err := sh.setupLocal(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		t, err := sh.eng.Table(name)
 		if err != nil {
-			fmt.Println("error:", err)
 			continue
 		}
-		var rows []value.Row
-		var runErr error
-		b := prof.Profile("query", func() {
-			// Rows are collected (not printed) inside the measured
-			// region, matching the paper's display-disabled runs.
-			rows, runErr = exec.Collect(plan)
-		})
-		if runErr != nil {
-			fmt.Println("error:", runErr)
-			continue
-		}
-		names := plan.Schema().Names()
-		fmt.Println(strings.Join(names, " | "))
-		for i, r := range rows {
-			if i >= *maxRows {
-				fmt.Printf("... (%d more)\n", len(rows)-i)
-				break
-			}
-			cells := make([]string, len(r))
-			for j, v := range r {
-				cells[j] = v.String()
-			}
-			fmt.Println(strings.Join(cells, " | "))
-		}
-		fmt.Printf("(%d rows)\n", len(rows))
-		printBreakdown(b)
+		fmt.Printf("  %-10s %8d rows  cols: %s\n", name, t.File.RowCount(), strings.Join(t.Schema().Names(), ", "))
 	}
 }
 
 func printBreakdown(b core.Breakdown) {
-	fmt.Printf("energy: Eactive=%.4gJ  L1D=%.1f%% Reg2L1D=%.1f%% L2=%.1f%% L3=%.1f%% mem=%.1f%% pf=%.1f%% stall=%.1f%% other=%.1f%%\n\n",
-		b.EActive,
-		b.Share(core.CompL1D)*100, b.Share(core.CompReg2L1D)*100,
-		b.Share(core.CompL2)*100, b.Share(core.CompL3)*100,
-		b.Share(core.CompMem)*100, b.Share(core.CompPf)*100,
-		b.Share(core.CompStall)*100, b.Share(core.CompOther)*100)
+	var shares [core.NumComponents]float64
+	for i := range shares {
+		shares[i] = b.Share(core.Component(i))
+	}
+	printShares(b.EActive, shares, "")
+}
+
+func printRemoteBreakdown(e wire.EnergyReport) {
+	var shares [core.NumComponents]float64
+	if e.EActive > 0 {
+		for i := range shares {
+			shares[i] = e.Joules[i] / e.EActive
+		}
+	}
+	printShares(e.EActive, shares,
+		fmt.Sprintf("session: %d queries, %.4gJ active\n", e.SessionQueries, e.SessionActive))
+}
+
+func printShares(eActive float64, s [core.NumComponents]float64, extra string) {
+	fmt.Printf("energy: Eactive=%.4gJ  L1D=%.1f%% Reg2L1D=%.1f%% L2=%.1f%% L3=%.1f%% mem=%.1f%% pf=%.1f%% stall=%.1f%% other=%.1f%%\n%s\n",
+		eActive,
+		s[core.CompL1D]*100, s[core.CompReg2L1D]*100,
+		s[core.CompL2]*100, s[core.CompL3]*100,
+		s[core.CompMem]*100, s[core.CompPf]*100,
+		s[core.CompStall]*100, s[core.CompOther]*100,
+		extra)
 }
 
 func parseKind(s string) (engine.Kind, error) {

@@ -13,6 +13,23 @@
 //
 // Knob settings follow Table 4, scaled 1:10 alongside the dataset size
 // classes (see DESIGN.md).
+//
+// # Concurrency and locking model
+//
+// An Engine is NOT goroutine-safe, by design: every operator it builds
+// drives loads, stores and instruction costs through the shared
+// cpusim.Machine, whose PMU counters and energy accounting mutate on each
+// access — and the paper's Eq. 1 attribution depends on those counters
+// advancing only for the statement being measured. There is no fine-grained
+// locking here to take; instead callers must serialize all access (plan
+// building, execution, table DDL, counter/energy snapshots) to one engine —
+// and to every other engine sharing its machine — on a single goroutine.
+// The server layer (internal/server) implements this discipline with one
+// worker goroutine and a fair per-session scheduler; single-process tools
+// (dbshell, the harness) get it for free. Snapshot APIs
+// (memsim.Hierarchy.Counters, perfmon.Take, rapl sessions) return value
+// copies, so snapshots taken on the owner goroutine may be diffed and read
+// anywhere afterwards.
 package engine
 
 import (

@@ -2,11 +2,22 @@
 // events, playing the role Linux perf / ocperf plays in the paper
 // (Section 2.4): it supplies the micro-operation counts N_m that the
 // energy-breakdown model consumes.
+//
+// # Concurrency
+//
+// The underlying memsim.Hierarchy counters advance on every simulated
+// access and are not goroutine-safe; callers must serialize execution on a
+// machine (the server layer funnels everything through one worker
+// goroutine). Snapshots taken on that owner — Hierarchy.Counters, Take,
+// Counter.Start/Stop — are value copies and stay valid and race-free after
+// ownership of the machine moves on. Counter carries a mutex so one
+// counting session object may itself be shared across goroutines.
 package perfmon
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"energydb/internal/memsim"
 )
@@ -132,8 +143,10 @@ func Supported() []Event {
 type Counter struct {
 	h      *memsim.Hierarchy
 	events []Event
-	start  memsim.Counters
-	open   bool
+
+	mu    sync.Mutex
+	start memsim.Counters
+	open  bool
 }
 
 // NewCounter validates the event list and prepares a counting session.
@@ -148,12 +161,16 @@ func NewCounter(h *memsim.Hierarchy, events ...Event) (*Counter, error) {
 
 // Start begins (or restarts) counting.
 func (c *Counter) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.start = c.h.Counters()
 	c.open = true
 }
 
 // Stop ends the session and returns the per-event deltas.
 func (c *Counter) Stop() (map[Event]uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.open {
 		return nil, fmt.Errorf("perfmon: Stop without Start")
 	}
@@ -174,6 +191,41 @@ func Snapshot(h *memsim.Hierarchy) map[Event]uint64 {
 	for _, e := range allEvents {
 		v, _ := read(c, e)
 		out[e] = v
+	}
+	return out
+}
+
+// Sample is an immutable point-in-time PMU snapshot. Take one before a
+// region and one after it; DeltaSince yields the region's event counts.
+// Samples are plain values — once taken (on the machine's owner goroutine)
+// they can be passed between goroutines and diffed freely, which is how the
+// server layer attributes per-statement counts to sessions.
+type Sample struct {
+	c memsim.Counters
+}
+
+// Take snapshots the hierarchy's cumulative counters. Must run on the
+// goroutine that currently owns the machine.
+func Take(h *memsim.Hierarchy) Sample { return Sample{c: h.Counters()} }
+
+// Counters returns the raw cumulative snapshot.
+func (s Sample) Counters() memsim.Counters { return s.c }
+
+// DeltaSince returns s - prev as raw counters (the N_m inputs of Eq. 1).
+func (s Sample) DeltaSince(prev Sample) memsim.Counters { return s.c.Sub(prev.c) }
+
+// Events returns s - prev projected onto the named events (all supported
+// events if none are given).
+func (s Sample) Events(prev Sample, events ...Event) map[Event]uint64 {
+	if len(events) == 0 {
+		events = allEvents
+	}
+	delta := s.c.Sub(prev.c)
+	out := make(map[Event]uint64, len(events))
+	for _, e := range events {
+		if v, ok := read(delta, e); ok {
+			out[e] = v
+		}
 	}
 	return out
 }

@@ -6,11 +6,23 @@
 // quantizes readings to the RAPL LSB and applies a small deterministic
 // per-session measurement error, so that downstream estimates (the solved
 // ΔE_m, the verification accuracies of Table 3) are realistically imperfect.
+//
+// # Concurrency
+//
+// Reading energy is not a passive observation: Machine.TotalEnergy folds
+// the elapsed counter segment into machine time (Machine.Sync), so callers
+// must serialize all access to one machine — the server layer does this by
+// running every measurement on its single worker goroutine (see
+// internal/server). The Meter's own mutable state (the measurement-noise
+// stream shared by all Sessions) is additionally guarded by an internal
+// mutex, so mis-ordered Begin/End pairs can skew a reading but can never
+// race.
 package rapl
 
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"energydb/internal/cpusim"
 )
@@ -49,7 +61,10 @@ const raplLSB = 1.0 / (16384 * 1024)
 
 // Meter reads the machine's energy counters.
 type Meter struct {
-	m   *cpusim.Machine
+	m *cpusim.Machine
+	// mu guards rng: sessions share one deterministic noise stream, and
+	// concurrent session Ends must draw from it atomically.
+	mu  sync.Mutex
 	rng *rand.Rand
 	// amp is the maximum relative per-session measurement error.
 	amp float64
@@ -121,6 +136,8 @@ type Measurement struct {
 // session's measurement error applied.
 func (s *Session) End() Measurement {
 	delta := s.meter.Read().Sub(s.start)
+	s.meter.mu.Lock()
+	defer s.meter.mu.Unlock()
 	eps := func() float64 {
 		if s.meter.amp == 0 {
 			return 0

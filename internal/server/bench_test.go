@@ -1,0 +1,61 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"energydb/internal/server/client"
+)
+
+// BenchmarkServerThroughput measures end-to-end queries/sec over loopback
+// TCP at 1, 4 and 16 concurrent client sessions, all running TPC-H Q6 on a
+// shared warm sqlite engine. This is the scaling baseline future PRs
+// (connection pooling, admission control, sharding) measure against: the
+// simulated machine serializes execution, so throughput should hold roughly
+// flat with client count while fairness spreads latency.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, addr := startServer(b)
+			conns := make([]*client.Conn, clients)
+			for i := range conns {
+				c, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+				if _, err := c.Query(`\q6`); err != nil { // warm engine + session
+					b.Fatal(err)
+				}
+			}
+
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for _, c := range conns {
+				wg.Add(1)
+				go func(c *client.Conn) {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						if _, err := c.Query(`\q6`); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Package client is the Go client library for energyd (internal/server).
+// It dials the server, performs the Hello/HelloAck handshake, and exposes a
+// Query call that returns both the result rows and the per-query
+// Active-energy breakdown the server attributes to this session.
+//
+// A Conn is safe for use by one goroutine at a time (the protocol is
+// strictly request–response per session); open one Conn per goroutine for
+// concurrent load, as the server multiplexes sessions fairly.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"energydb/internal/db/value"
+	"energydb/internal/server/wire"
+)
+
+// Options selects the session's engine. Zero values mean the server
+// defaults (sqlite / baseline / 10MB).
+type Options struct {
+	Engine  string // "postgresql", "sqlite", "mysql"
+	Setting string // "small", "baseline", "large"
+	Class   string // "10MB", "100MB", "500MB", "1GB"
+}
+
+// Conn is one energyd session.
+type Conn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+	ack wire.HelloAck
+}
+
+// Result is one statement's answer.
+type Result struct {
+	// Cols and Rows are the statement's result set.
+	Cols []string
+	Rows []value.Row
+	// Energy is the statement's Eq. 1 breakdown plus session totals.
+	Energy wire.EnergyReport
+}
+
+// Dial connects and completes the handshake.
+func Dial(addr string, opts Options) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	if err := c.send(&wire.Hello{
+		Version: wire.ProtocolVersion,
+		Engine:  opts.Engine,
+		Setting: opts.Setting,
+		Class:   opts.Class,
+	}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	f, err := wire.Read(c.r)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch f := f.(type) {
+	case *wire.HelloAck:
+		c.ack = *f
+		return c, nil
+	case *wire.Error:
+		nc.Close()
+		return nil, fmt.Errorf("client: server rejected handshake: %s", f.Msg)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected %v frame in handshake", f.FrameType())
+	}
+}
+
+// Info returns the server's handshake acknowledgement (resolved engine
+// parameters, session id, banner).
+func (c *Conn) Info() wire.HelloAck { return c.ack }
+
+// Query runs one statement: SQL, or the `\qN` TPC-H shorthand. A *Error
+// reply becomes a QueryError; transport failures come back as-is.
+func (c *Conn) Query(text string) (*Result, error) {
+	if err := c.send(&wire.Query{Text: text}); err != nil {
+		return nil, err
+	}
+	f, err := wire.Read(c.r)
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := f.(*wire.ResultSet)
+	if !ok {
+		if e, isErr := f.(*wire.Error); isErr {
+			return nil, &QueryError{Msg: e.Msg}
+		}
+		return nil, fmt.Errorf("client: expected ResultSet, got %v", f.FrameType())
+	}
+	f, err = wire.Read(c.r)
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := f.(*wire.EnergyReport)
+	if !ok {
+		return nil, fmt.Errorf("client: expected EnergyReport, got %v", f.FrameType())
+	}
+	return &Result{Cols: rs.Cols, Rows: rs.Rows, Energy: *rep}, nil
+}
+
+// Close sends Quit and closes the connection.
+func (c *Conn) Close() error {
+	_ = c.send(&wire.Quit{}) // best effort; the server also handles EOF
+	return c.c.Close()
+}
+
+func (c *Conn) send(f wire.Frame) error {
+	if err := wire.Write(c.w, f); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// QueryError is a statement-level failure: the session remains usable.
+type QueryError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *QueryError) Error() string { return "energyd: " + e.Msg }

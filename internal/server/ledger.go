@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync"
+
+	"energydb/internal/core"
+)
+
+// Ledger accumulates energy attribution for one accounting scope (a session
+// or the whole server). The worker goroutine adds breakdowns as statements
+// retire; connection goroutines read totals when building responses, so the
+// ledger is the one server structure shared across goroutines and carries
+// its own mutex.
+//
+// Attribution is exact, not amortized: statements are serialized on the
+// machine and counters only advance while a statement runs, so the Eq. 1
+// delta snapshotted around a statement belongs entirely to the session that
+// issued it. Session ledgers therefore partition the server ledger — the
+// per-session EActive sums add up to the server total.
+type Ledger struct {
+	mu sync.Mutex
+	t  LedgerTotals
+}
+
+// LedgerTotals is a ledger snapshot.
+type LedgerTotals struct {
+	// Queries is the number of statements retired.
+	Queries uint64
+	// EActive / EBusy / EBackground are summed measured energies (J).
+	EActive     float64
+	EBusy       float64
+	EBackground float64
+	// Seconds is the summed measured execution time.
+	Seconds float64
+	// Joules is the summed Eq. 1 component decomposition.
+	Joules [core.NumComponents]float64
+}
+
+// Add retires one statement's breakdown into the ledger.
+func (l *Ledger) Add(b core.Breakdown) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Queries++
+	l.t.EActive += b.EActive
+	l.t.EBusy += b.EBusy
+	l.t.EBackground += b.EBackground
+	l.t.Seconds += b.Seconds
+	for i, j := range b.Joules {
+		l.t.Joules[i] += j
+	}
+}
+
+// Totals returns a consistent snapshot.
+func (l *Ledger) Totals() LedgerTotals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t
+}
+
+// L1DShare returns the ledger's cumulative headline metric: (E_L1D +
+// E_Reg2L1D) / EActive, the paper's 39%–67% band for query workloads.
+func (t LedgerTotals) L1DShare() float64 {
+	if t.EActive <= 0 {
+		return 0
+	}
+	return (t.Joules[core.CompL1D] + t.Joules[core.CompReg2L1D]) / t.EActive
+}

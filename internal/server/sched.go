@@ -1,0 +1,135 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrServerClosed is returned for work submitted after shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// sched is the fair statement scheduler. Exactly one worker goroutine owns
+// the simulated machine; every piece of work that touches it — engine
+// provisioning, statement execution, counter and energy snapshots — runs as
+// a job on that goroutine, so machine access needs no further locking (see
+// the package comment for the full model).
+//
+// Fairness is round-robin over sessions, not FIFO over statements: each
+// session has its own queue and the worker advances a rotating cursor,
+// taking one job per session per turn. A session streaming statements
+// back-to-back therefore cannot starve the others — the paper's per-request
+// energy attribution is only meaningful if every session actually gets
+// requests through.
+type sched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[uint64][]*job // per-session pending jobs
+	ring   []uint64          // sessions with pending work, in service order
+	cursor int               // next ring slot to serve
+	closed bool
+	idle   chan struct{} // closed when the worker exits
+}
+
+type job struct {
+	run  func()
+	done chan struct{}
+	ran  bool // set by the worker before done closes
+}
+
+func newSched() *sched {
+	s := &sched{
+		queues: make(map[uint64][]*job),
+		idle:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.loop()
+	return s
+}
+
+// submit enqueues fn for the worker and blocks until it has run. All
+// submitted functions execute on the single worker goroutine, mutually
+// serialized.
+func (s *sched) submit(sid uint64, fn func()) error {
+	j := &job{run: fn, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if _, ok := s.queues[sid]; !ok {
+		s.ring = append(s.ring, sid)
+	}
+	s.queues[sid] = append(s.queues[sid], j)
+	s.mu.Unlock()
+	s.cond.Signal()
+	<-j.done
+	if !j.ran {
+		return ErrServerClosed
+	}
+	return nil
+}
+
+// close stops the worker. Jobs already queued are abandoned (their waiters
+// are released with ErrServerClosed).
+func (s *sched) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	// Release every queued waiter.
+	for sid, q := range s.queues {
+		for _, j := range q {
+			close(j.done)
+		}
+		delete(s.queues, sid)
+	}
+	s.ring = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	<-s.idle
+}
+
+// next blocks for the next job in round-robin session order, or returns nil
+// at shutdown.
+func (s *sched) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if len(s.ring) > 0 {
+			if s.cursor >= len(s.ring) {
+				s.cursor = 0
+			}
+			sid := s.ring[s.cursor]
+			q := s.queues[sid]
+			j := q[0]
+			if len(q) == 1 {
+				delete(s.queues, sid)
+				s.ring = append(s.ring[:s.cursor], s.ring[s.cursor+1:]...)
+				// cursor now points at the next session already.
+			} else {
+				s.queues[sid] = q[1:]
+				s.cursor++
+			}
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *sched) loop() {
+	defer close(s.idle)
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		j.run()
+		j.ran = true
+		close(j.done)
+	}
+}

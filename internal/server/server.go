@@ -1,0 +1,292 @@
+// Package server implements energyd: a concurrent SQL-over-TCP server with
+// per-session energy accounting. It multiplexes many client sessions over
+// shared simulated database engines and attributes every statement's
+// Active-energy breakdown (the paper's Eq. 1 decomposition, §2) to the
+// session that issued it, making energy a first-class per-request metric —
+// the serving-system counterpart of the paper's one-shot profiling.
+//
+// # Concurrency and locking model
+//
+// The simulated machine (cpusim.Machine, its memsim.Hierarchy and the
+// rapl.Meter attached to it) is NOT goroutine-safe: every load, store and
+// instruction mutates shared PMU counters, and energy reads fold counter
+// deltas into machine time (Machine.Sync). The server therefore follows a
+// single-owner discipline:
+//
+//   - One worker goroutine (sched.loop) owns the machine. Engine
+//     provisioning, statement execution, and the counter/energy
+//     snapshot-delta pair around each statement all run as scheduler jobs
+//     on that goroutine. Nothing else ever touches the machine, so machine
+//     state needs no locks and attribution deltas are exact.
+//   - Connection goroutines (one per session) only parse frames, submit
+//     jobs, and write responses. Data crosses between a connection
+//     goroutine and the worker only through the job's closure and its
+//     done-channel, which orders the memory accesses.
+//   - The only structures shared between goroutines — session/engine
+//     registries and the energy Ledgers — carry their own mutexes.
+//   - The scheduler is fair round-robin over sessions (see sched.go), so a
+//     statement-streaming session cannot starve the rest.
+//
+// Counter snapshots (memsim.Hierarchy.Counters, perfmon.Take) return value
+// copies and are race-free by construction once the single-owner rule
+// holds; rapl.Meter additionally guards its measurement-noise stream with a
+// mutex so sessions opened off the worker cannot corrupt it.
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"energydb/internal/core"
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/mubench"
+	"energydb/internal/rapl"
+	"energydb/internal/tpch"
+)
+
+// Banner identifies the server in HelloAck frames.
+const Banner = "energyd/1 (micro-analysis energy accounting, EDBT 2020 reproduction)"
+
+// Config configures a server.
+type Config struct {
+	// Seed drives the deterministic measurement-noise stream (default 42).
+	Seed int64
+	// Noise is the per-session relative measurement error (default
+	// rapl.DefaultNoise; negative disables noise).
+	Noise float64
+	// Scale rescales calibration micro-benchmark pass counts (default
+	// 0.1: fast startup, slightly less accurate ΔE_m).
+	Scale float64
+	// Logf, when set, receives one line per session event.
+	Logf func(format string, args ...any)
+}
+
+// Server is one energyd instance: a calibrated measurement stack, a shared
+// machine with lazily provisioned engines, and a fair statement scheduler.
+type Server struct {
+	cfg   Config
+	m     *cpusim.Machine
+	meter *rapl.Meter
+	cal   *core.Calibration
+	prof  *core.Profiler
+	sched *sched
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions map[uint64]*session
+	engines  map[engineKey]*engine.Engine // mu guards the map; engine internals belong to the worker
+	closed   bool
+
+	nextSID atomic.Uint64
+	total   Ledger
+}
+
+type engineKey struct {
+	kind    engine.Kind
+	setting engine.Setting
+	class   tpch.SizeClass
+}
+
+// New builds the measurement stack (machine + meter), calibrates the energy
+// model, and starts the statement scheduler. The server is ready to Serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	switch {
+	case cfg.Noise < 0:
+		cfg.Noise = 0
+	case cfg.Noise == 0:
+		cfg.Noise = rapl.DefaultNoise
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	meter := rapl.NewMeter(m, cfg.Seed, cfg.Noise)
+	runner := mubench.NewRunner(m, meter)
+	runner.Scale = cfg.Scale
+	cal, err := core.Calibrate(runner)
+	if err != nil {
+		return nil, fmt.Errorf("server: calibration failed: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		m:        m,
+		meter:    meter,
+		cal:      cal,
+		prof:     core.NewProfiler(m, meter, cal),
+		sched:    newSched(),
+		sessions: make(map[uint64]*session),
+		engines:  make(map[engineKey]*engine.Engine),
+	}, nil
+}
+
+// Calibration exposes the solved energy model (tests compare server-side
+// breakdowns against single-process profiling).
+func (s *Server) Calibration() *core.Calibration { return s.cal }
+
+// Totals returns the server-wide energy ledger snapshot. The per-session
+// ledgers partition it (see Ledger).
+func (s *Server) Totals() LedgerTotals { return s.total.Totals() }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts sessions on l until Close. It owns l and closes it on the
+// way out.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sess := &session{
+			id:   s.nextSID.Add(1),
+			srv:  s,
+			conn: conn,
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.sessions[sess.id] = sess
+		s.mu.Unlock()
+		go sess.run()
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting, disconnects every session and stops the scheduler.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.sched.close()
+	return err
+}
+
+func (s *Server) dropSession(id uint64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// provision returns the engine for a negotiated (kind, setting, class),
+// creating and loading it on first use. It must run on the worker goroutine
+// (engine creation and TPC-H loading drive the machine); the map itself is
+// mutex-guarded so Engines can count from other goroutines.
+func (s *Server) provision(key engineKey) *engine.Engine {
+	s.mu.Lock()
+	e, ok := s.engines[key]
+	s.mu.Unlock()
+	if ok {
+		return e
+	}
+	e = engine.New(key.kind, s.m, key.setting)
+	tpch.Setup(e, key.class)
+	s.mu.Lock()
+	s.engines[key] = e
+	s.mu.Unlock()
+	return e
+}
+
+// Engines returns the number of distinct (profile, setting, class) engines
+// provisioned so far. Sessions negotiating identical parameters share one.
+func (s *Server) Engines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.engines)
+}
+
+// ParseKind resolves an engine profile name ("postgresql", "pg",
+// "sqlite", "mysql").
+func ParseKind(s string) (engine.Kind, error) {
+	switch strings.ToLower(s) {
+	case "postgresql", "postgres", "pg":
+		return engine.PostgreSQL, nil
+	case "sqlite":
+		return engine.SQLite, nil
+	case "mysql":
+		return engine.MySQL, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}
+
+// ParseSetting resolves a Table 4 knob setting name.
+func ParseSetting(s string) (engine.Setting, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return engine.SettingSmall, nil
+	case "baseline":
+		return engine.SettingBaseline, nil
+	case "large":
+		return engine.SettingLarge, nil
+	}
+	return 0, fmt.Errorf("unknown setting %q", s)
+}
+
+// ParseClass resolves a dataset size class name.
+func ParseClass(s string) (tpch.SizeClass, error) {
+	for _, c := range []tpch.SizeClass{tpch.Size10MB, tpch.Size100MB, tpch.Size500MB, tpch.Size1GB} {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown class %q", s)
+}

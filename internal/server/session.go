@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"energydb/internal/core"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/sql"
+	"energydb/internal/db/value"
+	"energydb/internal/server/wire"
+	"energydb/internal/tpch"
+)
+
+// session is one client connection: a negotiated engine, an energy ledger,
+// and a frame loop. The connection goroutine owns conn and the buffered
+// reader/writer exclusively; everything machine-side happens in scheduler
+// jobs (see the package comment).
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+	w    *bufio.Writer
+	eng  *engine.Engine
+
+	ledger Ledger
+}
+
+func (s *session) run() {
+	defer s.srv.dropSession(s.id)
+	defer s.conn.Close()
+	r := bufio.NewReader(s.conn)
+	s.w = bufio.NewWriter(s.conn)
+
+	if err := s.handshake(r); err != nil {
+		s.srv.cfg.Logf("session %d: handshake: %v", s.id, err)
+		return
+	}
+	s.srv.cfg.Logf("session %d: connected from %s", s.id, s.conn.RemoteAddr())
+
+	for {
+		f, err := wire.Read(r)
+		if err != nil {
+			s.srv.cfg.Logf("session %d: closed (%v)", s.id, err)
+			return
+		}
+		switch f := f.(type) {
+		case *wire.Quit:
+			s.srv.cfg.Logf("session %d: quit after %d queries", s.id, s.ledger.Totals().Queries)
+			return
+		case *wire.Query:
+			if err := s.serveQuery(f.Text); err != nil {
+				s.srv.cfg.Logf("session %d: write: %v", s.id, err)
+				return
+			}
+		default:
+			s.send(&wire.Error{Msg: fmt.Sprintf("unexpected %v frame", f.FrameType())})
+			return
+		}
+	}
+}
+
+// handshake negotiates the session engine.
+func (s *session) handshake(r *bufio.Reader) error {
+	f, err := wire.Read(r)
+	if err != nil {
+		return err
+	}
+	hello, ok := f.(*wire.Hello)
+	if !ok {
+		s.send(&wire.Error{Msg: fmt.Sprintf("expected Hello, got %v", f.FrameType())})
+		return fmt.Errorf("expected Hello, got %v", f.FrameType())
+	}
+	if hello.Version != wire.ProtocolVersion {
+		s.send(&wire.Error{Msg: fmt.Sprintf("unsupported protocol version %d (want %d)", hello.Version, wire.ProtocolVersion)})
+		return fmt.Errorf("unsupported protocol version %d", hello.Version)
+	}
+	kind, err := ParseKind(defaultStr(hello.Engine, "sqlite"))
+	if err != nil {
+		s.send(&wire.Error{Msg: err.Error()})
+		return err
+	}
+	setting, err := ParseSetting(defaultStr(hello.Setting, "baseline"))
+	if err != nil {
+		s.send(&wire.Error{Msg: err.Error()})
+		return err
+	}
+	class, err := ParseClass(defaultStr(hello.Class, "10MB"))
+	if err != nil {
+		s.send(&wire.Error{Msg: err.Error()})
+		return err
+	}
+	key := engineKey{kind: kind, setting: setting, class: class}
+	var eng *engine.Engine
+	if err := s.srv.sched.submit(s.id, func() {
+		eng = s.srv.provision(key)
+	}); err != nil {
+		s.send(&wire.Error{Msg: err.Error()})
+		return err
+	}
+	s.eng = eng
+	return s.send(&wire.HelloAck{
+		Banner:    Banner,
+		Engine:    kind.String(),
+		Setting:   setting.String(),
+		Class:     class.String(),
+		Tables:    uint32(eng.Tables()),
+		SessionID: s.id,
+	})
+}
+
+// serveQuery executes one statement on the worker and answers with
+// ResultSet + EnergyReport (or Error). Statement failures keep the session
+// open; only transport failures propagate.
+func (s *session) serveQuery(text string) error {
+	name, cols, rows, b, err := s.execute(text)
+	if err != nil {
+		return s.send(&wire.Error{Msg: err.Error()})
+	}
+	s.ledger.Add(b)
+	s.srv.total.Add(b)
+	t := s.ledger.Totals()
+	rep := &wire.EnergyReport{
+		Name:        name,
+		Rows:        uint64(len(rows)),
+		EActive:     b.EActive,
+		EBusy:       b.EBusy,
+		EBackground: b.EBackground,
+		Seconds:     b.Seconds,
+
+		SessionQueries: t.Queries,
+		SessionActive:  t.EActive,
+		SessionSeconds: t.Seconds,
+	}
+	for i := range rep.Joules {
+		rep.Joules[i] = b.Joules[i]
+	}
+	if err := s.send(&wire.ResultSet{Cols: cols, Rows: rows}); err != nil {
+		// An oversized result set fails before any bytes hit the wire;
+		// downgrade to a statement error and keep the session alive.
+		if s.w.Buffered() == 0 {
+			return s.send(&wire.Error{Msg: err.Error()})
+		}
+		return err
+	}
+	return s.send(rep)
+}
+
+// execute runs the statement as a scheduler job, returning the collected
+// rows and the Eq. 1 breakdown of its measured Active energy.
+func (s *session) execute(text string) (name string, cols []string, rows []value.Row, b core.Breakdown, err error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return "", nil, nil, b, fmt.Errorf("empty statement")
+	}
+	var plan exec.Operator
+	var buildErr error
+	name = "query"
+	if strings.HasPrefix(text, `\q`) {
+		var id int
+		if _, scanErr := fmt.Sscanf(text, `\q%d`, &id); scanErr != nil {
+			return "", nil, nil, b, fmt.Errorf(`bad TPC-H shorthand %q: use \q<N> with N in 1..22`, text)
+		}
+		q, qErr := tpch.QueryByID(id)
+		if qErr != nil {
+			return "", nil, nil, b, qErr
+		}
+		name = fmt.Sprintf("tpch-q%d", id)
+		if submitErr := s.srv.sched.submit(s.id, func() {
+			plan, buildErr = q.Build(s.eng)
+		}); submitErr != nil {
+			return "", nil, nil, b, submitErr
+		}
+	} else {
+		stmt, parseErr := sql.Parse(text)
+		if parseErr != nil {
+			return "", nil, nil, b, parseErr
+		}
+		if submitErr := s.srv.sched.submit(s.id, func() {
+			plan, buildErr = sql.Plan(s.eng, stmt)
+		}); submitErr != nil {
+			return "", nil, nil, b, submitErr
+		}
+	}
+	if buildErr != nil {
+		return "", nil, nil, b, buildErr
+	}
+	cols = plan.Schema().Names()
+
+	var runErr error
+	if submitErr := s.srv.sched.submit(s.id, func() {
+		// Snapshot → run → delta, all on the worker: the profiler reads
+		// the PMU and RAPL counters immediately around the statement, so
+		// the delta is exactly this statement's footprint. Rows are
+		// collected (not rendered) inside the measured region, matching
+		// the paper's display-disabled methodology.
+		b = s.srv.prof.Profile(name, func() {
+			rows, runErr = exec.Collect(plan)
+		})
+	}); submitErr != nil {
+		return "", nil, nil, b, submitErr
+	}
+	if runErr != nil {
+		return "", nil, nil, b, runErr
+	}
+	return name, cols, rows, b, nil
+}
+
+func (s *session) send(f wire.Frame) error {
+	if err := wire.Write(s.w, f); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

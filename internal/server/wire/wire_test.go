@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"energydb/internal/db/value"
+)
+
+// sampleFrames covers every frame type with representative payloads,
+// including empty and awkward cases.
+func sampleFrames() []Frame {
+	return []Frame{
+		&Hello{Version: ProtocolVersion, Engine: "sqlite", Setting: "baseline", Class: "10MB"},
+		&Hello{Version: ProtocolVersion},
+		&HelloAck{Banner: Banner(), Engine: "MySQL", Setting: "large", Class: "1GB", Tables: 8, SessionID: 42},
+		&Query{Text: "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag"},
+		&Query{Text: `\q6`},
+		&ResultSet{},
+		&ResultSet{
+			Cols: []string{"a", "b", "c", "d", "e"},
+			Rows: []value.Row{
+				{value.Int(-7), value.Float(3.25), value.Str("héllo"), value.Date(912), value.Null()},
+				{value.Int(1 << 62), value.Float(-0.0), value.Str(""), value.Null(), value.Str(strings.Repeat("x", 300))},
+			},
+		},
+		&EnergyReport{
+			Name: "tpch-q6", Rows: 1,
+			EActive: 0.123, EBusy: 0.5, EBackground: 0.2, Seconds: 0.01,
+			Joules:         [8]float64{0.05, 0.01, 0.002, 0.001, 0.0005, 0.0001, 0.003, 0.06},
+			SessionQueries: 9, SessionActive: 1.5, SessionSeconds: 0.2,
+		},
+		&Error{Msg: "no table \"nope\""},
+		&Quit{},
+	}
+}
+
+// Banner mirrors the server's banner without importing it (no cycle).
+func Banner() string { return "energyd/1 test banner" }
+
+func TestRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		got, err := Decode(Encode(f))
+		if err != nil {
+			t.Fatalf("%v: decode failed: %v", f.FrameType(), err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Errorf("%v: round trip mismatch:\n got %#v\nwant %#v", f.FrameType(), got, f)
+		}
+	}
+}
+
+func TestWriteReadStream(t *testing.T) {
+	var b bytes.Buffer
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := Write(&b, f); err != nil {
+			t.Fatalf("write %v: %v", f.FrameType(), err)
+		}
+	}
+	for _, want := range frames {
+		got, err := Read(&b)
+		if err != nil {
+			t.Fatalf("read %v: %v", want.FrameType(), err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("stream mismatch: got %#v want %#v", got, want)
+		}
+	}
+	if _, err := Read(&b); err != io.EOF {
+		t.Errorf("expected EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"unknown type":       {0xff},
+		"truncated hello":    Encode(&Hello{Engine: "sqlite"})[:3],
+		"truncated results":  Encode(&ResultSet{Cols: []string{"a"}, Rows: []value.Row{{value.Int(1)}}})[:8],
+		"trailing garbage":   append(Encode(&Quit{}), 0x00),
+		"huge string length": {byte(TypeError), 0xff, 0xff, 0xff, 0xff, 'x'},
+		"huge row count": {byte(TypeResultSet),
+			0, 0, 0, 0, // ncols = 0
+			0xff, 0xff, 0xff, 0xff}, // nrows = 4B with no payload
+	}
+	for name, data := range cases {
+		if f, err := Decode(data); err == nil {
+			t.Errorf("%s: expected error, decoded %#v", name, f)
+		}
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := Read(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestWriteRejectsOversizedFrame(t *testing.T) {
+	q := &Query{Text: strings.Repeat("x", MaxFrame)}
+	var b bytes.Buffer
+	if err := Write(&b, q); err == nil {
+		t.Fatal("expected oversized frame to be rejected")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes onto the wire", b.Len())
+	}
+}
+
+// FuzzDecode asserts decoding never panics on arbitrary input, and that any
+// successfully decoded frame re-encodes to a decodable equal frame.
+func FuzzDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(Encode(fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x04, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Encode(fr))
+		if err != nil {
+			t.Fatalf("re-decode of valid frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(fr, again) {
+			t.Fatalf("re-encode changed frame: %#v vs %#v", fr, again)
+		}
+	})
+}
+
+// FuzzQueryRoundTrip asserts arbitrary statement text survives the wire.
+func FuzzQueryRoundTrip(f *testing.F) {
+	f.Add("SELECT 1")
+	f.Add(`\q6`)
+	f.Add("")
+	f.Add(strings.Repeat("∂", 100))
+	f.Fuzz(func(t *testing.T, text string) {
+		var b bytes.Buffer
+		if err := Write(&b, &Query{Text: text}); err != nil {
+			if len(text) >= MaxFrame-16 {
+				return // legitimately oversized
+			}
+			t.Fatalf("write: %v", err)
+		}
+		fr, err := Read(&b)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		q, ok := fr.(*Query)
+		if !ok || q.Text != text {
+			t.Fatalf("round trip mangled query: %#v", fr)
+		}
+	})
+}
