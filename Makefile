@@ -28,6 +28,11 @@ check: vet test race
 bench:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput -benchtime 2s ./internal/server/
 
-# Short fuzz pass over the wire protocol decoder.
+# Short fuzz pass over every fuzz target: the SQL parser (raw client text)
+# and both wire-protocol surfaces. FUZZTIME is overridable for CI smoke runs.
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime 30s ./internal/server/wire/
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/db/sql/
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/server/wire/
+	$(GO) test -run xxx -fuzz FuzzQueryRoundTrip -fuzztime $(FUZZTIME) ./internal/server/wire/

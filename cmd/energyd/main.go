@@ -9,10 +9,12 @@
 //	dbshell -connect localhost:7683 -db sqlite -class 10MB
 //
 // Clients negotiate the engine profile, knob setting and dataset class in
-// the handshake; engines are provisioned lazily and shared between sessions
-// that request the same combination. Statements from concurrent sessions
-// are serialized onto the simulated machine by a fair round-robin
-// scheduler, so per-session energy attribution stays exact.
+// the handshake; table stores are provisioned lazily and shared between
+// sessions that request the same combination. Statements execute in
+// parallel on a pool of per-worker simulated machines (-workers, default
+// GOMAXPROCS; -workers 1 reproduces the old fully-serialized server), with
+// fair round-robin scheduling within each worker, so per-session energy
+// attribution stays exact.
 package main
 
 import (
@@ -29,11 +31,15 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":7683", "listen address")
-		seed  = flag.Int64("seed", 42, "measurement-noise seed")
-		noise = flag.Float64("noise", rapl.DefaultNoise, "relative measurement error per session (negative disables)")
-		scale = flag.Float64("scale", 0.1, "calibration micro-benchmark scale (smaller starts faster)")
-		quiet = flag.Bool("quiet", false, "suppress per-session logging")
+		addr    = flag.String("addr", ":7683", "listen address")
+		seed    = flag.Int64("seed", 42, "measurement-noise seed")
+		noise   = flag.Float64("noise", rapl.DefaultNoise, "relative measurement error per session (negative disables)")
+		scale   = flag.Float64("scale", 0.1, "calibration micro-benchmark scale (smaller starts faster)")
+		workers = flag.Int("workers", 0, "execution workers, each with a private simulated machine (0 = GOMAXPROCS)")
+		stmtTO  = flag.Duration("stmt-timeout", 0, "cancel statements running longer than this (0 = no limit)")
+		readTO  = flag.Duration("read-timeout", 0, "per-frame client read deadline (0 = no limit)")
+		writeTO = flag.Duration("write-timeout", 0, "per-response write deadline (0 = no limit)")
+		quiet   = flag.Bool("quiet", false, "suppress per-session logging")
 	)
 	flag.Parse()
 
@@ -44,10 +50,14 @@ func main() {
 
 	log.Printf("calibrating the i7-4790 energy model (scale %g)...", *scale)
 	srv, err := server.New(server.Config{
-		Seed:  *seed,
-		Noise: *noise,
-		Scale: *scale,
-		Logf:  logf,
+		Seed:         *seed,
+		Noise:        *noise,
+		Scale:        *scale,
+		Workers:      *workers,
+		StmtTimeout:  *stmtTO,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		Logf:         logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "energyd:", err)
@@ -64,7 +74,7 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s (%d workers)", *addr, srv.Workers())
 	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "energyd:", err)
 		os.Exit(1)

@@ -58,6 +58,14 @@ type EnergyTable struct {
 
 const floorFrac = 0.35
 
+// Clone returns a private copy of the table. Machines cloned with
+// Machine.NewLike share the same energy values but not the table itself, so
+// per-machine mutations (EnableITCM) never leak across workers.
+func (t *EnergyTable) Clone() *EnergyTable {
+	c := *t
+	return &c
+}
+
 // PerOp returns the energy in nanojoules of one occurrence of op at P-state p.
 func (t *EnergyTable) PerOp(op MicroOp, p PState) float64 {
 	a := t.Anchors[op]

@@ -100,6 +100,28 @@ func NewMachine(p Profile) *Machine {
 	return m
 }
 
+// NewLike returns a fresh machine of the same model at the same operating
+// point: the profile (including any energy-table mutations such as ITCM) and
+// the current P-state/EIST setting are replicated, the hierarchy is rebuilt
+// cold with the same configuration, and all counter/energy accounting starts
+// at zero. This is the per-worker clone path: N machines share one
+// P-state/energy-model configuration but own private PMU counters, caches
+// and energy accumulators, so statements executing on different clones never
+// share mutable state and need no locks.
+func (m *Machine) NewLike() *Machine {
+	m.Sync()
+	p := m.Profile
+	p.Energy = m.Profile.Energy.Clone()
+	n := &Machine{
+		Profile: p,
+		Hier:    m.Hier.NewLike(),
+		pstate:  m.pstate,
+		eist:    m.eist,
+	}
+	n.Hier.SetFrequencyHz(n.pstate.FrequencyHz())
+	return n
+}
+
 // PState returns the current operating point.
 func (m *Machine) PState() PState { return m.pstate }
 

@@ -1,0 +1,69 @@
+package cpusim
+
+import (
+	"testing"
+
+	"energydb/internal/memsim"
+)
+
+// exercise runs a fixed access mix on a machine and returns its active
+// energy total.
+func exercise(m *Machine) float64 {
+	h := m.Hier
+	base := uint64(1 << 24)
+	for i := 0; i < 2000; i++ {
+		h.Load(base+uint64(i)*memsim.LineSize, false)
+	}
+	h.StoreRange(base, 64<<10)
+	h.Exec(50000, memsim.InstrAdd)
+	return m.ActiveEnergy().Total()
+}
+
+// TestNewLikeFreshCounters checks the per-worker clone path: the clone
+// starts with zero counters, time and energy, at the parent's P-state.
+func TestNewLikeFreshCounters(t *testing.T) {
+	m := NewMachine(IntelI7_4790())
+	if err := m.SetPState(PState24); err != nil {
+		t.Fatal(err)
+	}
+	exercise(m)
+	n := m.NewLike()
+	if got := n.Hier.Counters(); got != (memsim.Counters{}) {
+		t.Fatalf("clone counters not zero: %+v", got)
+	}
+	if e := n.ActiveEnergy().Total(); e != 0 {
+		t.Fatalf("clone active energy = %g, want 0", e)
+	}
+	if s := n.WallSeconds(); s != 0 {
+		t.Fatalf("clone wall clock = %g, want 0", s)
+	}
+	if n.PState() != PState24 {
+		t.Fatalf("clone P-state = %v, want parent's %v", n.PState(), PState24)
+	}
+}
+
+// TestNewLikeSameModel checks the clone reproduces the parent's energy
+// model exactly: the same cold workload costs the same energy on both.
+func TestNewLikeSameModel(t *testing.T) {
+	m := NewMachine(IntelI7_4790())
+	n := m.NewLike()
+	if got, want := exercise(n), exercise(m); got != want {
+		t.Fatalf("clone energy %g != parent energy %g for identical workload", got, want)
+	}
+}
+
+// TestNewLikePrivateEnergyTable checks EnableITCM on one machine never
+// leaks into machines cloned from it (and vice versa): each clone owns a
+// private EnergyTable copy.
+func TestNewLikePrivateEnergyTable(t *testing.T) {
+	m := NewMachine(ARM1176())
+	n := m.NewLike()
+	before := m.Profile.Energy.PerOp(OpAdd, m.PState())
+	n.EnableITCM(0.5)
+	if got := m.Profile.Energy.PerOp(OpAdd, m.PState()); got != before {
+		t.Fatalf("clone's EnableITCM mutated parent table: %g -> %g", before, got)
+	}
+	if got := n.Profile.Energy.PerOp(OpAdd, n.PState()); got >= before {
+		t.Fatalf("clone's EnableITCM had no effect: %g", got)
+	}
+}

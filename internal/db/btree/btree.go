@@ -7,6 +7,16 @@
 // The tree also supports relocating its top layers into a TCM window — the
 // Section 4.2 co-design places "the root and first few layers of the B-tree
 // of current tables" into DTCM.
+//
+// # Sharing model
+//
+// The node structure (keys, row ids, simulated addresses) lives in a shared
+// half; a Tree is a per-hierarchy view over it. Workers attach views of one
+// shared index with View, so all of them descend the same structure while
+// every simulated load and store drives the view's own machine. The shared
+// structure carries no internal lock: callers must hold the owning store's
+// read lock across Seek/Lookup/iteration and its write lock across
+// Insert/PlaceTopLevels — engine.Shared enforces exactly that contract.
 package btree
 
 import (
@@ -22,9 +32,15 @@ const entryBytes = 16
 // nodeHeaderBytes is the on-node header width.
 const nodeHeaderBytes = 16
 
-// Tree is a B+tree mapping composite keys to row ids.
+// Tree is a B+tree view mapping composite keys to row ids: the node
+// structure is shared, the hierarchy the traversals drive is the view's own.
 type Tree struct {
-	h      *memsim.Hierarchy
+	h *memsim.Hierarchy
+	s *shared
+}
+
+// shared is the cross-view tree structure.
+type shared struct {
 	arena  *memsim.Arena
 	order  int // max children per interior node / entries per leaf
 	root   *node
@@ -48,40 +64,47 @@ func New(h *memsim.Hierarchy, arena *memsim.Arena, pageSize int) *Tree {
 	if order < 8 {
 		order = 8
 	}
-	t := &Tree{h: h, arena: arena, order: order}
-	t.root = t.newNode(true)
-	t.height = 1
+	t := &Tree{h: h, s: &shared{arena: arena, order: order}}
+	t.s.root = t.newNode(true)
+	t.s.height = 1
 	return t
 }
 
+// View returns a tree over the same shared node structure whose simulated
+// accesses drive h instead of the receiver's hierarchy. Views are cheap to
+// create and safe to use concurrently under the owning store's lock.
+func (t *Tree) View(h *memsim.Hierarchy) *Tree {
+	return &Tree{h: h, s: t.s}
+}
+
 func (t *Tree) newNode(leaf bool) *node {
-	size := nodeHeaderBytes + t.order*entryBytes
+	size := nodeHeaderBytes + t.s.order*entryBytes
 	return &node{
-		addr: t.arena.Alloc(uint64(size), memsim.LineSize),
+		addr: t.s.arena.Alloc(uint64(size), memsim.LineSize),
 		leaf: leaf,
 	}
 }
 
 // Len returns the number of entries.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int { return t.s.size }
 
 // Height returns the tree height (1 = root is a leaf).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return t.s.height }
 
 // Order returns the node fanout.
-func (t *Tree) Order() int { return t.order }
+func (t *Tree) Order() int { return t.s.order }
 
 // Insert adds (key, rowID). Keys may repeat; entries with equal keys are
 // kept in insertion order. The simulated descent and node writes are issued.
 func (t *Tree) Insert(key value.Value, rowID int) {
-	t.size++
-	split, sep := t.insert(t.root, key, rowID)
+	t.s.size++
+	split, sep := t.insert(t.s.root, key, rowID)
 	if split != nil {
 		newRoot := t.newNode(false)
 		newRoot.keys = []value.Value{sep}
-		newRoot.kids = []*node{t.root, split}
-		t.root = newRoot
-		t.height++
+		newRoot.kids = []*node{t.s.root, split}
+		t.s.root = newRoot
+		t.s.height++
 		t.h.StoreRange(newRoot.addr, uint64(nodeHeaderBytes+2*entryBytes))
 	}
 }
@@ -95,7 +118,7 @@ func (t *Tree) insert(n *node, key value.Value, rowID int) (*node, value.Value) 
 		n.keys = insertAt(n.keys, idx, key)
 		n.rowIDs = insertIntAt(n.rowIDs, idx, rowID)
 		t.h.StoreRange(n.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
-		if len(n.keys) <= t.order {
+		if len(n.keys) <= t.s.order {
 			return nil, value.Value{}
 		}
 		return t.splitLeaf(n)
@@ -111,7 +134,7 @@ func (t *Tree) insert(n *node, key value.Value, rowID int) (*node, value.Value) 
 	n.keys = insertAt(n.keys, idx, sep)
 	n.kids = insertNodeAt(n.kids, idx+1, split)
 	t.h.StoreRange(n.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
-	if len(n.kids) <= t.order {
+	if len(n.kids) <= t.s.order {
 		return nil, value.Value{}
 	}
 	return t.splitInterior(n)
@@ -167,7 +190,7 @@ func maxInt(a, b int) int {
 // Seek positions at the first entry with key >= target and returns an
 // iterator. The descent issues dependent loads at each level.
 func (t *Tree) Seek(target value.Value) *Iter {
-	n := t.root
+	n := t.s.root
 	for !n.leaf {
 		t.touchNode(n, len(n.keys))
 		// Descend into the leftmost child that can hold target:
@@ -196,7 +219,7 @@ func (t *Tree) Seek(target value.Value) *Iter {
 
 // First returns an iterator at the smallest entry.
 func (t *Tree) First() *Iter {
-	n := t.root
+	n := t.s.root
 	for !n.leaf {
 		t.touchNode(n, len(n.keys))
 		n = n.kids[0]
@@ -256,11 +279,11 @@ func (it *Iter) Next() {
 // the budget runs out; lower levels keep their ordinary addresses.
 func (t *Tree) PlaceTopLevels(alloc func(size uint64) (uint64, bool)) int {
 	moved := 0
-	levelNodes := []*node{t.root}
+	levelNodes := []*node{t.s.root}
 	for len(levelNodes) > 0 {
 		next := make([]*node, 0, len(levelNodes)*4)
 		for _, n := range levelNodes {
-			size := uint64(nodeHeaderBytes + t.order*entryBytes)
+			size := uint64(nodeHeaderBytes + t.s.order*entryBytes)
 			addr, ok := alloc(size)
 			if !ok {
 				return moved

@@ -134,7 +134,7 @@ func TestPlaceTopLevels(t *testing.T) {
 	if moved == 0 {
 		t.Fatal("no nodes moved")
 	}
-	if tr.root.addr < 0x1000_0000 {
+	if tr.s.root.addr < 0x1000_0000 {
 		t.Fatal("root not relocated")
 	}
 	// Tree still works after relocation.

@@ -16,24 +16,40 @@
 //
 // # Concurrency and locking model
 //
-// An Engine is NOT goroutine-safe, by design: every operator it builds
-// drives loads, stores and instruction costs through the shared
-// cpusim.Machine, whose PMU counters and energy accounting mutate on each
-// access — and the paper's Eq. 1 attribution depends on those counters
-// advancing only for the statement being measured. There is no fine-grained
-// locking here to take; instead callers must serialize all access (plan
-// building, execution, table DDL, counter/energy snapshots) to one engine —
-// and to every other engine sharing its machine — on a single goroutine.
-// The server layer (internal/server) implements this discipline with one
-// worker goroutine and a fair per-session scheduler; single-process tools
-// (dbshell, the harness) get it for free. Snapshot APIs
-// (memsim.Hierarchy.Counters, perfmon.Take, rapl sessions) return value
+// A database instance is split in two. Shared is the table store — schemas,
+// row data (storage.TableData) and index structure (btree shared halves) —
+// and is what all workers see. Engine is a per-worker view over one Shared:
+// it binds the store to one cpusim.Machine via a private device, buffer pool
+// and executor context, so every simulated load, store and instruction cost
+// a statement issues lands on that worker's PMU counters alone — the paper's
+// Eq. 1 attribution depends on those counters advancing only for the
+// statement being measured.
+//
+// An individual Engine is still NOT goroutine-safe: one worker owns it, and
+// all access to it (plan building, execution, counter/energy snapshots) must
+// stay on that worker's goroutine. Cross-worker safety comes from the store:
+//
+//   - Shared.mu is a statement-scoped RWMutex. Query execution holds the
+//     read lock for the whole statement (the server layer does this);
+//     concurrent readers proceed in parallel on their own machines.
+//   - The write entry points — CreateTable, CreateIndex, Insert,
+//     UpdateWhere — take the write lock internally, so DDL/DML excludes
+//     every in-flight statement. Never call them while already holding the
+//     store lock.
+//   - Below it, storage.TableData and the btree shared halves are protected
+//     by that contract (TableData additionally carries its own RWMutex for
+//     raw row access). Lock order is always Shared.mu, then TableData.mu.
+//
+// Table and MustTable read the store without locking; call them either under
+// the statement read lock or from a context where no DDL can run. Snapshot
+// APIs (memsim.Hierarchy.Counters, perfmon.Take, rapl sessions) return value
 // copies, so snapshots taken on the owner goroutine may be diffed and read
 // anywhere afterwards.
 package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"energydb/internal/cpusim"
 	"energydb/internal/db/btree"
@@ -213,7 +229,61 @@ func (t *Table) Schema() *catalog.Schema { return t.schema }
 // Index returns the index on the named column, if any.
 func (t *Table) Index(col string) *btree.Tree { return t.Indexes[col] }
 
-// Engine is one database instance on a simulated machine.
+// sharedTable is the cross-worker half of a table: schema, shared row data
+// and the shared index structures (stored as trees bound to the creating
+// worker's hierarchy; other workers re-view them).
+type sharedTable struct {
+	name    string
+	schema  *catalog.Schema
+	data    *storage.TableData
+	indexes map[string]*btree.Tree
+}
+
+// Shared is the table store of one database instance: everything that is
+// common across workers. Engines are per-worker views created with View.
+// mu is the statement-scoped lock described in the package documentation.
+type Shared struct {
+	Kind  Kind
+	Knobs Knobs
+
+	mu     sync.RWMutex
+	tables map[string]*sharedTable
+}
+
+// NewShared creates an empty table store for the given profile and setting.
+func NewShared(kind Kind, setting Setting) *Shared {
+	return &Shared{
+		Kind:   kind,
+		Knobs:  KnobsFor(kind, setting),
+		tables: make(map[string]*sharedTable),
+	}
+}
+
+// RLock takes the statement-scoped read lock. Query execution holds it for
+// the whole statement so DDL/DML cannot shift data under a running scan.
+func (sh *Shared) RLock() { sh.mu.RLock() }
+
+// RUnlock releases the statement-scoped read lock.
+func (sh *Shared) RUnlock() { sh.mu.RUnlock() }
+
+// Lock takes the store write lock (DDL/DML exclusion). The engine write
+// entry points take it themselves; explicit use is for multi-statement
+// critical sections.
+func (sh *Shared) Lock() { sh.mu.Lock() }
+
+// Unlock releases the store write lock.
+func (sh *Shared) Unlock() { sh.mu.Unlock() }
+
+// TableCount returns the number of tables in the store.
+func (sh *Shared) TableCount() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.tables)
+}
+
+// Engine is one per-worker view of a database instance: the shared table
+// store bound to one simulated machine through a private device, buffer pool
+// and executor context.
 type Engine struct {
 	Kind  Kind
 	Knobs Knobs
@@ -222,7 +292,8 @@ type Engine struct {
 	Pool  *storage.BufferPool
 	Ctx   *exec.Ctx
 
-	tables map[string]*Table
+	shared *Shared
+	tables map[string]*Table // per-view table cache
 	wal    *storage.WAL
 }
 
@@ -230,29 +301,52 @@ type Engine struct {
 // hash tables, scratch).
 const arenaBytes = 3 << 30
 
-// New creates an engine of the given profile at the given knob setting.
+// New creates an engine of the given profile at the given knob setting, with
+// a store of its own. Additional workers attach to the same store with
+// Shared().View(m).
 func New(kind Kind, m *cpusim.Machine, setting Setting) *Engine {
-	knobs := KnobsFor(kind, setting)
+	return NewShared(kind, setting).View(m)
+}
+
+// View creates an engine over this store bound to machine m. The view owns a
+// fresh device, buffer pool and executor context, so its simulated accesses
+// drive m alone; table data and index structure stay shared.
+func (sh *Shared) View(m *cpusim.Machine) *Engine {
 	dev := storage.NewDevice(m, arenaBytes)
-	pool := storage.NewBufferPool(dev, knobs.BufferBytes, knobs.PageBytes)
+	pool := storage.NewBufferPool(dev, sh.Knobs.BufferBytes, sh.Knobs.PageBytes)
 	return &Engine{
-		Kind:   kind,
-		Knobs:  knobs,
+		Kind:   sh.Kind,
+		Knobs:  sh.Knobs,
 		M:      m,
 		Dev:    dev,
 		Pool:   pool,
-		Ctx:    exec.NewCtx(m, dev.Arena, costFor(kind)),
+		Ctx:    exec.NewCtx(m, dev.Arena, costFor(sh.Kind)),
+		shared: sh,
 		tables: make(map[string]*Table),
 	}
 }
 
-// CreateTable registers a table. MySQL's profile organizes rows under the
-// clustered primary index; the others use plain heap files (SQLite's B-tree
-// tables scan sequentially in rowid order, which the heap file reproduces).
+// Shared returns the table store behind this engine.
+func (e *Engine) Shared() *Shared { return e.shared }
+
+// CreateTable registers a table, taking the store write lock. MySQL's
+// profile organizes rows under the clustered primary index; the others use
+// plain heap files (SQLite's B-tree tables scan sequentially in rowid order,
+// which the heap file reproduces).
 func (e *Engine) CreateTable(name string, schema *catalog.Schema) *Table {
+	sh := e.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	file := storage.NewHeapFile(e.Dev, e.Pool, schema, e.Knobs.TupleOverhead)
+	sh.tables[name] = &sharedTable{
+		name:    name,
+		schema:  schema,
+		data:    file.Data(),
+		indexes: make(map[string]*btree.Tree),
+	}
 	t := &Table{
 		Name:    name,
-		File:    storage.NewHeapFile(e.Dev, e.Pool, schema, e.Knobs.TupleOverhead),
+		File:    file,
 		Indexes: make(map[string]*btree.Tree),
 		schema:  schema,
 	}
@@ -260,11 +354,32 @@ func (e *Engine) CreateTable(name string, schema *catalog.Schema) *Table {
 	return t
 }
 
-// Table fetches a table by name.
+// viewTable builds this engine's view of a shared table.
+func (e *Engine) viewTable(st *sharedTable) *Table {
+	t := &Table{
+		Name:    st.name,
+		File:    st.data.View(e.Dev, e.Pool),
+		Indexes: make(map[string]*btree.Tree, len(st.indexes)),
+		schema:  st.schema,
+	}
+	for col, tree := range st.indexes {
+		t.Indexes[col] = tree.View(e.M.Hier)
+	}
+	return t
+}
+
+// Table fetches this engine's view of a table by name, building it on first
+// use (and rebuilding when indexes were added through another view). Call it
+// under the statement read lock, or from a context where no DDL can run.
 func (e *Engine) Table(name string) (*Table, error) {
-	t, ok := e.tables[name]
+	st, ok := e.shared.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	t, ok := e.tables[name]
+	if !ok || len(t.Indexes) != len(st.indexes) {
+		t = e.viewTable(st)
+		e.tables[name] = t
 	}
 	return t, nil
 }
@@ -278,11 +393,14 @@ func (e *Engine) MustTable(name string) *Table {
 	return t
 }
 
-// Tables returns the number of tables.
-func (e *Engine) Tables() int { return len(e.tables) }
+// Tables returns the number of tables in the store.
+func (e *Engine) Tables() int { return e.shared.TableCount() }
 
-// Insert appends a row.
+// Insert appends a row, taking the store write lock.
 func (e *Engine) Insert(t *Table, row value.Row) {
+	sh := e.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	id := t.File.Append(row)
 	for col, idx := range t.Indexes {
 		ci := t.schema.MustColIndex(col)
@@ -291,8 +409,12 @@ func (e *Engine) Insert(t *Table, row value.Row) {
 }
 
 // CreateIndex builds a secondary index on one column, inserting existing
-// rows.
+// rows. It takes the store write lock; the index becomes visible to every
+// view of the store.
 func (e *Engine) CreateIndex(t *Table, col string) *btree.Tree {
+	sh := e.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	ci := t.schema.MustColIndex(col)
 	tree := btree.New(e.M.Hier, e.Dev.Arena, e.Knobs.PageBytes)
 	for i := 0; i < t.File.RowCount(); i++ {
@@ -303,6 +425,9 @@ func (e *Engine) CreateIndex(t *Table, col string) *btree.Tree {
 		tree.Insert(row[ci], i)
 	}
 	t.Indexes[col] = tree
+	if st, ok := sh.tables[t.Name]; ok {
+		st.indexes[col] = tree
+	}
 	return tree
 }
 
@@ -424,9 +549,12 @@ func (e *Engine) WAL() *storage.WAL { return e.wal }
 // engine's mode and committed once at the end (one statement = one
 // transaction). Updated rows must not change indexed columns; the paper
 // defers write-query analysis and so does this engine's index maintenance.
+// The whole statement runs under the store write lock.
 //
 // It returns the number of rows updated.
 func (e *Engine) UpdateWhere(t *Table, pred exec.Expr, set func(value.Row) value.Row) (int, error) {
+	e.shared.mu.Lock()
+	defer e.shared.mu.Unlock()
 	wal := e.ensureWAL()
 	journaled := make(map[int]bool) // pages copied to the rollback journal
 	predNodes := 0

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/value"
+)
+
+// TestSharedView checks the per-worker engine path: a second engine view
+// over one store sees tables, rows and indexes created through the first,
+// and scanning through it drives only its own machine.
+func TestSharedView(t *testing.T) {
+	e := newEngine(t, SQLite, SettingBaseline)
+	tbl := loadSample(t, e, 200)
+
+	m2 := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e2 := e.Shared().View(m2)
+	if e2.Tables() != e.Tables() {
+		t.Fatalf("view sees %d tables, base %d", e2.Tables(), e.Tables())
+	}
+	tbl2, err := e2.Table("sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.File.RowCount() != tbl.File.RowCount() {
+		t.Fatalf("view rows %d != base rows %d", tbl2.File.RowCount(), tbl.File.RowCount())
+	}
+	if tbl2.Index("k") == nil {
+		t.Fatal("view does not see the index built through the base engine")
+	}
+
+	before := e.M.Hier.Counters()
+	before2 := m2.Hier.Counters()
+	n, err := e2.Run(e2.Scan(tbl2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("view scan returned %d rows, want 200", n)
+	}
+	if e.M.Hier.Counters() != before {
+		t.Fatal("view scan advanced the base engine's machine")
+	}
+	if m2.Hier.Counters() == before2 {
+		t.Fatal("view scan did not advance the view's machine")
+	}
+
+	// Index lookups through the view hit the shared structure.
+	lo := value.Int(50)
+	hi := value.Int(59)
+	op, err := e2.IndexRange(tbl2, "k", &lo, &hi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := e2.Run(op); err != nil || n != 10 {
+		t.Fatalf("view index range = (%d, %v), want 10 rows", n, err)
+	}
+}
+
+// TestSharedViewSeesLaterDDL checks a view built before an index existed
+// picks it up afterwards (the view's table cache refreshes).
+func TestSharedViewSeesLaterDDL(t *testing.T) {
+	e := newEngine(t, PostgreSQL, SettingBaseline)
+	schema := catalog.NewSchema(
+		catalog.Column{Name: "k", Type: value.TypeInt},
+		catalog.Column{Name: "grp", Type: value.TypeInt},
+		catalog.Column{Name: "v", Type: value.TypeFloat},
+	)
+	tbl := e.CreateTable("sample", schema)
+	for i := 0; i < 50; i++ {
+		e.Insert(tbl, value.Row{value.Int(int64(i)), value.Int(int64(i % 7)), value.Float(float64(i))})
+	}
+
+	m2 := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e2 := e.Shared().View(m2)
+	t2, err := e2.Table("sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Index("k") != nil {
+		t.Fatal("index exists before CreateIndex")
+	}
+	e.CreateIndex(tbl, "k")
+	t2, err = e2.Table("sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Index("k") == nil {
+		t.Fatal("view table cache did not refresh after CreateIndex on the base")
+	}
+}
+
+// TestSharedParallelReaders checks the statement-scoped locking contract:
+// many workers scanning under the read lock while a writer inserts under
+// the (internally taken) write lock, race-free and with a consistent final
+// count.
+func TestSharedParallelReaders(t *testing.T) {
+	e := newEngine(t, SQLite, SettingBaseline)
+	tbl := loadSample(t, e, 300)
+	sh := e.Shared()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := cpusim.NewMachine(cpusim.IntelI7_4790())
+			ev := sh.View(m)
+			for i := 0; i < 5; i++ {
+				sh.RLock()
+				vt, err := ev.Table("sample")
+				if err != nil {
+					sh.RUnlock()
+					t.Error(err)
+					return
+				}
+				n, err := ev.Run(ev.Scan(vt, nil))
+				sh.RUnlock()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n < 300 {
+					t.Errorf("scan saw %d rows, want >= 300", n)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent writer: Insert takes the store write lock internally.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			e.Insert(tbl, value.Row{value.Int(int64(1000 + i)), value.Int(0), value.Float(0)})
+		}
+	}()
+	wg.Wait()
+	if got := tbl.File.RowCount(); got != 320 {
+		t.Fatalf("final row count %d, want 320", got)
+	}
+}
+
+// TestUpdateWhereStillWorks guards the internally-locked DML entry point.
+func TestUpdateWhereStillWorks(t *testing.T) {
+	e := newEngine(t, PostgreSQL, SettingBaseline)
+	tbl := loadSample(t, e, 50)
+	n, err := e.UpdateWhere(tbl, nil, func(r value.Row) value.Row {
+		r[2] = value.Float(1.5)
+		return r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("updated %d rows, want 50", n)
+	}
+	row, err := tbl.File.ReadRow(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[2].F != 1.5 {
+		t.Fatalf("row not updated: %v", row)
+	}
+}

@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCancelPreArmed checks a statement whose cancel flag is already set
+// aborts at the first per-tuple checkpoint and surfaces ErrCanceled.
+func TestCancelPreArmed(t *testing.T) {
+	f := newFixture(t, 1000)
+	cancel := new(atomic.Bool)
+	cancel.Store(true)
+	f.ctx.Cancel = cancel
+	defer func() { f.ctx.Cancel = nil }()
+
+	if _, err := Drain(&SeqScan{Ctx: f.ctx, File: f.file}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Drain under cancel: err = %v, want ErrCanceled", err)
+	}
+	if _, err := Collect(&SeqScan{Ctx: f.ctx, File: f.file}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Collect under cancel: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCancelMidFlight flips the flag from a filter callback partway through
+// the scan: execution must stop early instead of draining the whole table.
+func TestCancelMidFlight(t *testing.T) {
+	f := newFixture(t, 1000)
+	cancel := new(atomic.Bool)
+	f.ctx.Cancel = cancel
+	defer func() { f.ctx.Cancel = nil }()
+
+	op := &SeqScan{Ctx: f.ctx, File: f.file}
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(canceledPanic); !ok {
+					panic(r)
+				}
+			}
+		}()
+		for {
+			_, ok, err := op.Next()
+			if err != nil || !ok {
+				return
+			}
+			n++
+			if n == 100 {
+				cancel.Store(true)
+			}
+		}
+	}()
+	if n < 100 || n >= 1000 {
+		t.Fatalf("scan processed %d rows before cancel, want >= 100 and < 1000", n)
+	}
+}
+
+// TestCancelLeavesEngineUsable checks the flag is per-statement: after a
+// canceled statement, clearing Cancel lets the next one run to completion.
+func TestCancelLeavesEngineUsable(t *testing.T) {
+	f := newFixture(t, 200)
+	cancel := new(atomic.Bool)
+	cancel.Store(true)
+	f.ctx.Cancel = cancel
+	if _, err := Drain(&SeqScan{Ctx: f.ctx, File: f.file}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	f.ctx.Cancel = nil
+	n, err := Drain(&SeqScan{Ctx: f.ctx, File: f.file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("post-cancel scan returned %d rows, want 200", n)
+	}
+}

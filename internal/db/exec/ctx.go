@@ -16,6 +16,9 @@
 package exec
 
 import (
+	"runtime"
+	"sync/atomic"
+
 	"energydb/internal/cpusim"
 	"energydb/internal/memsim"
 )
@@ -52,13 +55,32 @@ type Ctx struct {
 	Arena *memsim.Arena
 	Cost  CostModel
 
+	// Cancel, when non-nil and set, makes the executor abandon the running
+	// statement at the next per-tuple checkpoint: TupleCost panics with a
+	// sentinel that Collect and Drain recover into ErrCanceled. It may be
+	// flipped from any goroutine (statement-timeout watchdogs use this);
+	// everything else on the Ctx stays single-owner.
+	Cancel *atomic.Bool
+
 	// hot is the base of the executor's hot working set: a few cache
 	// lines that are touched on every tuple and therefore L1D-resident,
 	// like real interpreter state.
 	hot     uint64
 	hotIdx  uint64
 	slotOff uint64
+	tuples  uint64
 }
+
+// yieldEvery is how many tuple checkpoints pass between scheduler yields
+// while a cancel flag is armed. The simulation is pure CPU work, so on a
+// GOMAXPROCS=1 host a statement could otherwise outrun the watchdog timer
+// (Go only delivers expired timers when the scheduler runs); an occasional
+// Gosched bounds cancellation latency to a few thousand tuples on any host
+// at negligible cost.
+const yieldEvery = 4096
+
+// canceledPanic is the unwind sentinel thrown by TupleCost on cancellation.
+type canceledPanic struct{}
 
 // NewCtx builds an executor context.
 func NewCtx(m *cpusim.Machine, arena *memsim.Arena, cost CostModel) *Ctx {
@@ -89,6 +111,14 @@ func (c *Ctx) hotLine() uint64 {
 // loads, stores and instructions a real executor spends moving one tuple
 // through an operator.
 func (c *Ctx) TupleCost() {
+	if c.Cancel != nil {
+		if c.Cancel.Load() {
+			panic(canceledPanic{})
+		}
+		if c.tuples++; c.tuples%yieldEvery == 0 {
+			runtime.Gosched()
+		}
+	}
 	h := c.M.Hier
 	if n := c.Cost.TupleLoads; n > 0 {
 		third := uint64(n) / 3

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"energydb/internal/db/btree"
@@ -299,8 +300,25 @@ func (s *memScan) Next() (value.Row, bool, error) {
 }
 func (s *memScan) Close() error { return nil }
 
+// ErrCanceled is returned by Collect and Drain when the statement was
+// abandoned through Ctx.Cancel (a statement timeout, typically).
+var ErrCanceled = errors.New("exec: statement canceled")
+
+// recoverCanceled converts the cancellation unwind into ErrCanceled and
+// re-panics on anything else.
+func recoverCanceled(err *error) {
+	switch r := recover(); r {
+	case nil:
+	case canceledPanic{}:
+		*err = ErrCanceled
+	default:
+		panic(r)
+	}
+}
+
 // Collect drains an operator into a slice (cloning rows) and closes it.
-func Collect(op Operator) ([]value.Row, error) {
+func Collect(op Operator) (rows []value.Row, err error) {
+	defer recoverCanceled(&err)
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -321,12 +339,12 @@ func Collect(op Operator) ([]value.Row, error) {
 // Drain runs an operator to completion, discarding rows, and returns the
 // row count. The top of every profiled query uses Drain: result display is
 // disabled, as in the paper's measurement methodology.
-func Drain(op Operator) (int, error) {
+func Drain(op Operator) (n int, err error) {
+	defer recoverCanceled(&err)
 	if err := op.Open(); err != nil {
 		return 0, err
 	}
 	defer op.Close()
-	n := 0
 	for {
 		_, ok, err := op.Next()
 		if err != nil {

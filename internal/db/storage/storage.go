@@ -3,10 +3,23 @@
 // addresses: every page touch, row read and row write is driven through the
 // memory-hierarchy simulator so the energy profiler sees the same access
 // stream a real engine would generate.
+//
+// # Sharing model
+//
+// A heap file is split in two: TableData is the shared half (rows, schema,
+// page geometry) that every worker sees, and HeapFile is a per-worker view
+// that binds the shared data to one device and buffer pool. Views over the
+// same TableData read and write identical row contents while driving their
+// own simulated machine, so per-worker energy attribution stays exact.
+// TableData guards its row storage with an RWMutex (reads take the read
+// lock, Append/Update the write lock); statement-scoped exclusion between
+// queries and DML is layered above this in engine.Shared.
 package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"energydb/internal/cpusim"
 	"energydb/internal/db/catalog"
@@ -267,15 +280,17 @@ func (bp *BufferPool) HitRate() float64 {
 // pageHeaderBytes models the slotted-page header walked on row access.
 const pageHeaderBytes = 24
 
-// HeapFile stores fixed-width rows in slotted pages behind a buffer pool.
-// Row *contents* live on the Go side (rows slice); the page/slot geometry
-// determines the simulated addresses touched when rows are read.
-type HeapFile struct {
-	dev      *Device
-	pool     *BufferPool
-	fileID   int
+// TableData is the shared half of a heap file: row contents, schema and
+// page/slot geometry. Per-worker HeapFile views over one TableData see
+// identical rows while simulating their accesses on their own machines. The
+// row storage is guarded by an RWMutex so the storage layer is safe on its
+// own; statement-scoped exclusion (no DML while a query runs anywhere) is
+// the engine.Shared store's job.
+type TableData struct {
+	mu       sync.RWMutex
 	schema   *catalog.Schema
 	rows     []value.Row
+	fileID   int
 	rowWidth int
 	perPage  int
 	// TupleOverhead is the per-row header width (PostgreSQL's 24-byte
@@ -283,69 +298,122 @@ type HeapFile struct {
 	TupleOverhead int
 }
 
-var nextFileID = 1
+// rowCount returns the number of rows under the read lock.
+func (d *TableData) rowCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.rows)
+}
 
-// NewHeapFile creates an empty heap file on the pool.
+// row returns row id (and true) under the read lock. The returned Row is
+// never mutated in place — Update replaces the slice element — so it stays
+// valid after the lock is released.
+func (d *TableData) row(id int) (value.Row, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || id >= len(d.rows) {
+		return nil, false
+	}
+	return d.rows[id], true
+}
+
+var nextFileID atomic.Int64
+
+// HeapFile stores fixed-width rows in slotted pages behind a buffer pool.
+// Row *contents* live on the Go side (the shared TableData); the page/slot
+// geometry determines the simulated addresses touched when rows are read.
+// A HeapFile is a per-worker view: the data is shared, the device and pool
+// (and therefore every simulated access) belong to this view alone.
+type HeapFile struct {
+	dev  *Device
+	pool *BufferPool
+	data *TableData
+}
+
+// NewHeapFile creates an empty heap file on the pool, with fresh shared
+// table data.
 func NewHeapFile(dev *Device, pool *BufferPool, schema *catalog.Schema, tupleOverhead int) *HeapFile {
 	width := schema.RowWidth() + tupleOverhead
 	perPage := (pool.pageSize - pageHeaderBytes) / width
 	if perPage < 1 {
 		perPage = 1
 	}
-	hf := &HeapFile{
-		dev:           dev,
-		pool:          pool,
-		fileID:        nextFileID,
+	data := &TableData{
 		schema:        schema,
+		fileID:        int(nextFileID.Add(1)),
 		rowWidth:      width,
 		perPage:       perPage,
 		TupleOverhead: tupleOverhead,
 	}
-	nextFileID++
-	return hf
+	return &HeapFile{dev: dev, pool: pool, data: data}
+}
+
+// Data returns the shared table data behind this view.
+func (hf *HeapFile) Data() *TableData { return hf.data }
+
+// View returns a heap file over the same shared table data bound to a
+// different device and buffer pool — the per-worker attachment path: row
+// contents and page geometry are shared, while every simulated access (page
+// fetches, row loads, row stores) drives the view's own machine.
+func (d *TableData) View(dev *Device, pool *BufferPool) *HeapFile {
+	return &HeapFile{dev: dev, pool: pool, data: d}
 }
 
 // Schema returns the row schema.
-func (hf *HeapFile) Schema() *catalog.Schema { return hf.schema }
+func (hf *HeapFile) Schema() *catalog.Schema { return hf.data.schema }
 
 // RowCount returns the number of rows.
-func (hf *HeapFile) RowCount() int { return len(hf.rows) }
+func (hf *HeapFile) RowCount() int { return hf.data.rowCount() }
 
 // PageCount returns the number of pages the rows occupy.
 func (hf *HeapFile) PageCount() int {
-	if len(hf.rows) == 0 {
+	n := hf.data.rowCount()
+	if n == 0 {
 		return 0
 	}
-	return (len(hf.rows) + hf.perPage - 1) / hf.perPage
+	return (n + hf.data.perPage - 1) / hf.data.perPage
 }
 
 // RowsPerPage returns the slot count per page.
-func (hf *HeapFile) RowsPerPage() int { return hf.perPage }
+func (hf *HeapFile) RowsPerPage() int { return hf.data.perPage }
 
-// Append bulk-loads a row, simulating the page write.
+// TupleOverhead returns the per-row header width knob.
+func (hf *HeapFile) TupleOverhead() int { return hf.data.TupleOverhead }
+
+// Append bulk-loads a row, simulating the page write. It takes the table
+// write lock for the row insertion.
 func (hf *HeapFile) Append(r value.Row) int {
-	id := len(hf.rows)
-	hf.rows = append(hf.rows, r.Clone())
-	page, slot := id/hf.perPage, id%hf.perPage
-	addr := hf.pool.Fetch(PageID{hf.fileID, page}, true)
-	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*hf.rowWidth), uint64(hf.rowWidth))
+	d := hf.data
+	d.mu.Lock()
+	id := len(d.rows)
+	d.rows = append(d.rows, r.Clone())
+	d.mu.Unlock()
+	page, slot := id/d.perPage, id%d.perPage
+	addr := hf.pool.Fetch(PageID{d.fileID, page}, true)
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*d.rowWidth), uint64(d.rowWidth))
 	return id
 }
 
 // Update overwrites row id in place: a random page fetch, the row store,
 // and the dirty mark (write-back happens on eviction or checkpoint). It
-// returns the number of bytes logically written, for WAL sizing.
+// returns the number of bytes logically written, for WAL sizing. The row
+// slot is replaced (not mutated), so rows handed out earlier stay intact.
 func (hf *HeapFile) Update(id int, row value.Row) (int, error) {
-	if id < 0 || id >= len(hf.rows) {
-		return 0, fmt.Errorf("storage: row %d out of range [0, %d)", id, len(hf.rows))
+	d := hf.data
+	d.mu.Lock()
+	if id < 0 || id >= len(d.rows) {
+		n := len(d.rows)
+		d.mu.Unlock()
+		return 0, fmt.Errorf("storage: row %d out of range [0, %d)", id, n)
 	}
-	page, slot := id/hf.perPage, id%hf.perPage
-	pid := PageID{hf.fileID, page}
+	d.rows[id] = row.Clone()
+	d.mu.Unlock()
+	page, slot := id/d.perPage, id%d.perPage
+	pid := PageID{d.fileID, page}
 	addr := hf.pool.Fetch(pid, false)
-	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*hf.rowWidth), uint64(hf.rowWidth))
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*d.rowWidth), uint64(d.rowWidth))
 	hf.pool.MarkDirty(pid)
-	hf.rows[id] = row.Clone()
-	return hf.rowWidth, nil
+	return d.rowWidth, nil
 }
 
 // Pool returns the backing buffer pool.
@@ -355,23 +423,25 @@ func (hf *HeapFile) Pool() *BufferPool { return hf.pool }
 // loads. sequential marks scan order access (readahead + independent loads);
 // random access (index lookups) issues dependent loads.
 func (hf *HeapFile) ReadRow(id int, sequential bool) (value.Row, error) {
-	if id < 0 || id >= len(hf.rows) {
-		return nil, fmt.Errorf("storage: row %d out of range [0, %d)", id, len(hf.rows))
+	d := hf.data
+	row, ok := d.row(id)
+	if !ok {
+		return nil, fmt.Errorf("storage: row %d out of range [0, %d)", id, d.rowCount())
 	}
-	page, slot := id/hf.perPage, id%hf.perPage
-	addr := hf.pool.Fetch(PageID{hf.fileID, page}, sequential)
-	rowAddr := addr + uint64(pageHeaderBytes+slot*hf.rowWidth)
+	page, slot := id/d.perPage, id%d.perPage
+	addr := hf.pool.Fetch(PageID{d.fileID, page}, sequential)
+	rowAddr := addr + uint64(pageHeaderBytes+slot*d.rowWidth)
 	h := hf.dev.M.Hier
 	if sequential {
-		h.LoadRange(rowAddr, uint64(hf.rowWidth))
+		h.LoadRange(rowAddr, uint64(d.rowWidth))
 	} else {
 		// The slot lookup is a pointer chase; remaining lines stream.
 		h.Load(rowAddr, true)
-		if hf.rowWidth > memsim.LineSize {
-			h.LoadRange(rowAddr+memsim.LineSize, uint64(hf.rowWidth-memsim.LineSize))
+		if d.rowWidth > memsim.LineSize {
+			h.LoadRange(rowAddr+memsim.LineSize, uint64(d.rowWidth-memsim.LineSize))
 		}
 	}
-	return hf.rows[id], nil
+	return row, nil
 }
 
 // Machine exposes the device machine (operators issue compute through it).
@@ -395,17 +465,19 @@ func (hf *HeapFile) Scan() *Scanner {
 // Next returns the next row and its id, or ok=false at the end.
 func (s *Scanner) Next() (value.Row, int, bool) {
 	hf := s.hf
-	if s.next >= len(hf.rows) {
+	d := hf.data
+	row, ok := d.row(s.next)
+	if !ok {
 		return nil, 0, false
 	}
 	id := s.next
 	s.next++
-	page, slot := id/hf.perPage, id%hf.perPage
+	page, slot := id/d.perPage, id%d.perPage
 	if page != s.curPage {
-		s.pageAddr = hf.pool.Fetch(PageID{hf.fileID, page}, true)
+		s.pageAddr = hf.pool.Fetch(PageID{d.fileID, page}, true)
 		s.curPage = page
 	}
-	rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*hf.rowWidth)
-	hf.dev.M.Hier.LoadRange(rowAddr, uint64(hf.rowWidth))
-	return hf.rows[id], id, true
+	rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*d.rowWidth)
+	hf.dev.M.Hier.LoadRange(rowAddr, uint64(d.rowWidth))
+	return row, id, true
 }

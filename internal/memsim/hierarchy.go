@@ -95,6 +95,14 @@ type Hierarchy struct {
 // SetRecorder installs (or removes, with nil) an access recorder.
 func (h *Hierarchy) SetRecorder(r Recorder) { h.rec = r }
 
+// NewLike returns a fresh, cold hierarchy with the same configuration: the
+// cache geometry, prefetch setting, TCM window and (frequency-scaled) memory
+// latency are replicated, while caches start empty and PMU counters at zero.
+// Per-worker simulated machines are built this way: N hierarchies share one
+// configuration but own private counter and cache state, so concurrent
+// workers never touch each other's PMU. The recorder is not carried over.
+func (h *Hierarchy) NewLike() *Hierarchy { return New(h.cfg) }
+
 // New builds a hierarchy from the configuration.
 func New(cfg Config) *Hierarchy {
 	h := &Hierarchy{

@@ -7,11 +7,13 @@
 //
 // The underlying memsim.Hierarchy counters advance on every simulated
 // access and are not goroutine-safe; callers must serialize execution on a
-// machine (the server layer funnels everything through one worker
-// goroutine). Snapshots taken on that owner — Hierarchy.Counters, Take,
-// Counter.Start/Stop — are value copies and stay valid and race-free after
-// ownership of the machine moves on. Counter carries a mutex so one
-// counting session object may itself be shared across goroutines.
+// machine (the server layer gives each pool worker a private machine via
+// Machine.NewLike, so statements parallelize across machines while each
+// machine stays single-owner). Snapshots taken on that owner —
+// Hierarchy.Counters, Take, Counter.Start/Stop — are value copies and stay
+// valid and race-free after ownership of the machine moves on. Counter
+// carries a mutex so one counting session object may itself be shared
+// across goroutines.
 package perfmon
 
 import (

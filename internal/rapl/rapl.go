@@ -12,11 +12,12 @@
 // Reading energy is not a passive observation: Machine.TotalEnergy folds
 // the elapsed counter segment into machine time (Machine.Sync), so callers
 // must serialize all access to one machine — the server layer does this by
-// running every measurement on its single worker goroutine (see
-// internal/server). The Meter's own mutable state (the measurement-noise
-// stream shared by all Sessions) is additionally guarded by an internal
-// mutex, so mis-ordered Begin/End pairs can skew a reading but can never
-// race.
+// giving each pool worker a private machine (Machine.NewLike) and a
+// private Meter with its own noise stream, all driven only from that
+// worker's goroutine (see internal/server). The Meter's own mutable state
+// (the measurement-noise stream shared by all Sessions) is additionally
+// guarded by an internal mutex, so mis-ordered Begin/End pairs can skew a
+// reading but can never race.
 package rapl
 
 import (

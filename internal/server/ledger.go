@@ -7,16 +7,17 @@ import (
 )
 
 // Ledger accumulates energy attribution for one accounting scope (a session
-// or the whole server). The worker goroutine adds breakdowns as statements
-// retire; connection goroutines read totals when building responses, so the
-// ledger is the one server structure shared across goroutines and carries
-// its own mutex.
+// or a worker). Worker goroutines add breakdowns as statements retire;
+// connection goroutines read totals when building responses, so the ledger
+// is shared across goroutines and carries its own mutex.
 //
-// Attribution is exact, not amortized: statements are serialized on the
-// machine and counters only advance while a statement runs, so the Eq. 1
-// delta snapshotted around a statement belongs entirely to the session that
-// issued it. Session ledgers therefore partition the server ledger — the
-// per-session EActive sums add up to the server total.
+// Attribution is exact, not amortized: each statement runs on a machine
+// owned by exactly one worker, whose counters only advance while that
+// statement runs, so the Eq. 1 delta snapshotted around a statement belongs
+// entirely to the session that issued it. Every breakdown is added to one
+// session ledger and one worker ledger; the session ledgers therefore
+// partition the server total (Server.Totals, the merge of the worker
+// ledgers) — the per-session EActive sums add up to the server total.
 type Ledger struct {
 	mu sync.Mutex
 	t  LedgerTotals
@@ -55,6 +56,19 @@ func (l *Ledger) Totals() LedgerTotals {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.t
+}
+
+// Merge folds another snapshot into t (Server.Totals uses it to combine the
+// per-worker ledgers).
+func (t *LedgerTotals) Merge(o LedgerTotals) {
+	t.Queries += o.Queries
+	t.EActive += o.EActive
+	t.EBusy += o.EBusy
+	t.EBackground += o.EBackground
+	t.Seconds += o.Seconds
+	for i, j := range o.Joules {
+		t.Joules[i] += j
+	}
 }
 
 // L1DShare returns the ledger's cumulative headline metric: (E_L1D +

@@ -8,18 +8,20 @@ import (
 // ErrServerClosed is returned for work submitted after shutdown.
 var ErrServerClosed = errors.New("server: closed")
 
-// sched is the fair statement scheduler. Exactly one worker goroutine owns
-// the simulated machine; every piece of work that touches it — engine
-// provisioning, statement execution, counter and energy snapshots — runs as
-// a job on that goroutine, so machine access needs no further locking (see
-// the package comment for the full model).
+// sched is one worker's fair statement scheduler. Its single goroutine owns
+// that worker's simulated machine; every piece of work that touches it —
+// engine view attachment, statement execution, counter and energy snapshots
+// — runs as a job on that goroutine, so machine access needs no further
+// locking (see the package comment for the full model). The pool runs one
+// sched per worker; sessions are sticky to a worker, so a session's jobs
+// stay serialized in submission order.
 //
-// Fairness is round-robin over sessions, not FIFO over statements: each
-// session has its own queue and the worker advances a rotating cursor,
-// taking one job per session per turn. A session streaming statements
-// back-to-back therefore cannot starve the others — the paper's per-request
-// energy attribution is only meaningful if every session actually gets
-// requests through.
+// Fairness is round-robin over the worker's sessions, not FIFO over
+// statements: each session has its own queue and the worker advances a
+// rotating cursor, taking one job per session per turn. A session streaming
+// statements back-to-back therefore cannot starve the others — the paper's
+// per-request energy attribution is only meaningful if every session
+// actually gets requests through.
 type sched struct {
 	mu     sync.Mutex
 	cond   *sync.Cond

@@ -1,44 +1,60 @@
 // Package server implements energyd: a concurrent SQL-over-TCP server with
 // per-session energy accounting. It multiplexes many client sessions over
-// shared simulated database engines and attributes every statement's
+// shared simulated database stores and attributes every statement's
 // Active-energy breakdown (the paper's Eq. 1 decomposition, §2) to the
 // session that issued it, making energy a first-class per-request metric —
 // the serving-system counterpart of the paper's one-shot profiling.
 //
 // # Concurrency and locking model
 //
-// The simulated machine (cpusim.Machine, its memsim.Hierarchy and the
+// A simulated machine (cpusim.Machine, its memsim.Hierarchy and the
 // rapl.Meter attached to it) is NOT goroutine-safe: every load, store and
-// instruction mutates shared PMU counters, and energy reads fold counter
-// deltas into machine time (Machine.Sync). The server therefore follows a
-// single-owner discipline:
+// instruction mutates PMU counters, and energy reads fold counter deltas
+// into machine time (Machine.Sync). The server therefore gives every worker
+// a machine of its own and keeps the single-owner discipline per worker:
 //
-//   - One worker goroutine (sched.loop) owns the machine. Engine
-//     provisioning, statement execution, and the counter/energy
-//     snapshot-delta pair around each statement all run as scheduler jobs
-//     on that goroutine. Nothing else ever touches the machine, so machine
-//     state needs no locks and attribution deltas are exact.
+//   - The pool runs N workers (Config.Workers, default GOMAXPROCS). Each
+//     worker goroutine owns a private machine — a cpusim.Machine.NewLike
+//     clone of the calibrated primary — plus its own meter, profiler and
+//     engine views. Engine attachment, statement execution, and the
+//     counter/energy snapshot-delta pair around each statement all run as
+//     scheduler jobs on that worker's goroutine, so machine state needs no
+//     locks and attribution deltas are exact even with statements running
+//     concurrently on other workers.
+//   - Table data is shared, not cloned: one engine.Shared store per
+//     negotiated (profile, setting, class), loaded once on the primary
+//     machine, with per-worker engine views bound to it. Statements hold
+//     the store's read lock for their whole execution; DDL/DML entry
+//     points take the write lock internally (see the engine package doc).
+//   - Sessions are assigned to a worker round-robin at handshake and stay
+//     there (sticky), so one session's statements retain protocol order.
+//     Within a worker, scheduling is fair round-robin over its sessions
+//     (see sched.go), so a statement-streaming session cannot starve its
+//     neighbours.
 //   - Connection goroutines (one per session) only parse frames, submit
 //     jobs, and write responses. Data crosses between a connection
-//     goroutine and the worker only through the job's closure and its
+//     goroutine and its worker only through the job's closure and its
 //     done-channel, which orders the memory accesses.
-//   - The only structures shared between goroutines — session/engine
-//     registries and the energy Ledgers — carry their own mutexes.
-//   - The scheduler is fair round-robin over sessions (see sched.go), so a
-//     statement-streaming session cannot starve the rest.
+//   - The only structures shared between goroutines — session/store
+//     registries and the energy Ledgers — carry their own mutexes. Each
+//     statement's breakdown lands in exactly one session ledger and
+//     exactly one worker ledger, so the session ledgers partition the
+//     server total (the merge of the worker ledgers) exactly.
 //
 // Counter snapshots (memsim.Hierarchy.Counters, perfmon.Take) return value
-// copies and are race-free by construction once the single-owner rule
-// holds; rapl.Meter additionally guards its measurement-noise stream with a
-// mutex so sessions opened off the worker cannot corrupt it.
+// copies and are race-free by construction once the per-worker single-owner
+// rule holds; rapl.Meter additionally guards its measurement-noise stream
+// with a mutex so sessions opened off the worker cannot corrupt it.
 package server
 
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"energydb/internal/core"
 	"energydb/internal/cpusim"
@@ -53,7 +69,8 @@ const Banner = "energyd/1 (micro-analysis energy accounting, EDBT 2020 reproduct
 
 // Config configures a server.
 type Config struct {
-	// Seed drives the deterministic measurement-noise stream (default 42).
+	// Seed drives the deterministic measurement-noise streams (default 42;
+	// each worker's meter derives its own seed from it).
 	Seed int64
 	// Noise is the per-session relative measurement error (default
 	// rapl.DefaultNoise; negative disables noise).
@@ -61,28 +78,43 @@ type Config struct {
 	// Scale rescales calibration micro-benchmark pass counts (default
 	// 0.1: fast startup, slightly less accurate ΔE_m).
 	Scale float64
+	// Workers is the number of execution workers, each with a private
+	// simulated machine (default GOMAXPROCS). Workers: 1 reproduces the
+	// old single-worker server exactly.
+	Workers int
+	// StmtTimeout cancels statements that run longer than this on the
+	// simulated machine's wall clock (0 = no limit). A timed-out
+	// statement returns an error; the session stays open.
+	StmtTimeout time.Duration
+	// ReadTimeout bounds the wait for each client frame (0 = no limit).
+	// A stalled or vanished client is disconnected instead of pinning its
+	// session forever.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write (0 = no limit).
+	WriteTimeout time.Duration
 	// Logf, when set, receives one line per session event.
 	Logf func(format string, args ...any)
 }
 
-// Server is one energyd instance: a calibrated measurement stack, a shared
-// machine with lazily provisioned engines, and a fair statement scheduler.
+// Server is one energyd instance: a calibrated measurement stack, a worker
+// pool of cloned machines, and shared table stores with per-worker views.
 type Server struct {
-	cfg   Config
-	m     *cpusim.Machine
-	meter *rapl.Meter
-	cal   *core.Calibration
-	prof  *core.Profiler
-	sched *sched
+	cfg  Config
+	m    *cpusim.Machine // calibration primary; also runs store loads
+	cal  *core.Calibration
+	pool *pool
+
+	// loadMu serializes store builds on the primary machine (TPC-H loads
+	// drive s.m, which tolerates only one goroutine at a time).
+	loadMu sync.Mutex
 
 	mu       sync.Mutex
 	listener net.Listener
 	sessions map[uint64]*session
-	engines  map[engineKey]*engine.Engine // mu guards the map; engine internals belong to the worker
+	stores   map[engineKey]*storeEntry
 	closed   bool
 
 	nextSID atomic.Uint64
-	total   Ledger
 }
 
 type engineKey struct {
@@ -91,8 +123,15 @@ type engineKey struct {
 	class   tpch.SizeClass
 }
 
-// New builds the measurement stack (machine + meter), calibrates the energy
-// model, and starts the statement scheduler. The server is ready to Serve.
+// storeEntry is one shared table store, built exactly once; ready closes
+// when the load finishes so latecomers wait instead of double-loading.
+type storeEntry struct {
+	ready  chan struct{}
+	shared *engine.Shared
+}
+
+// New builds the measurement stack, calibrates the energy model on the
+// primary machine, and starts the worker pool. The server is ready to Serve.
 func New(cfg Config) (*Server, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
@@ -105,6 +144,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Scale == 0 {
 		cfg.Scale = 0.1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -120,22 +162,39 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		m:        m,
-		meter:    meter,
 		cal:      cal,
-		prof:     core.NewProfiler(m, meter, cal),
-		sched:    newSched(),
+		pool:     newPool(cfg.Workers, m, cal, cfg.Seed, cfg.Noise),
 		sessions: make(map[uint64]*session),
-		engines:  make(map[engineKey]*engine.Engine),
+		stores:   make(map[engineKey]*storeEntry),
 	}, nil
 }
 
 // Calibration exposes the solved energy model (tests compare server-side
-// breakdowns against single-process profiling).
+// breakdowns against single-process profiling). It is read-only after New
+// and shared by every worker's profiler.
 func (s *Server) Calibration() *core.Calibration { return s.cal }
 
-// Totals returns the server-wide energy ledger snapshot. The per-session
-// ledgers partition it (see Ledger).
-func (s *Server) Totals() LedgerTotals { return s.total.Totals() }
+// Workers returns the pool size.
+func (s *Server) Workers() int { return len(s.pool.workers) }
+
+// Totals returns the server-wide energy ledger snapshot: the merge of the
+// per-worker ledgers. The per-session ledgers partition the same sum.
+func (s *Server) Totals() LedgerTotals {
+	var out LedgerTotals
+	for _, w := range s.pool.workers {
+		out.Merge(w.ledger.Totals())
+	}
+	return out
+}
+
+// WorkerTotals returns each worker's ledger snapshot, in worker order.
+func (s *Server) WorkerTotals() []LedgerTotals {
+	out := make([]LedgerTotals, len(s.pool.workers))
+	for i, w := range s.pool.workers {
+		out[i] = w.ledger.Totals()
+	}
+	return out
+}
 
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -195,7 +254,7 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting, disconnects every session and stops the scheduler.
+// Close stops accepting, disconnects every session and stops the workers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -217,7 +276,7 @@ func (s *Server) Close() error {
 	for _, sess := range sessions {
 		sess.conn.Close()
 	}
-	s.sched.close()
+	s.pool.close()
 	return err
 }
 
@@ -227,31 +286,40 @@ func (s *Server) dropSession(id uint64) {
 	s.mu.Unlock()
 }
 
-// provision returns the engine for a negotiated (kind, setting, class),
-// creating and loading it on first use. It must run on the worker goroutine
-// (engine creation and TPC-H loading drive the machine); the map itself is
-// mutex-guarded so Engines can count from other goroutines.
-func (s *Server) provision(key engineKey) *engine.Engine {
+// sharedStore returns the table store for a negotiated (kind, setting,
+// class), building and loading it on first use. It runs on the calling
+// (connection) goroutine so a long TPC-H load never blocks any worker;
+// loads themselves are serialized on the primary machine by loadMu, and
+// latecomers for the same key wait on the entry's ready channel.
+func (s *Server) sharedStore(key engineKey) *engine.Shared {
 	s.mu.Lock()
-	e, ok := s.engines[key]
-	s.mu.Unlock()
+	ent, ok := s.stores[key]
 	if ok {
-		return e
+		s.mu.Unlock()
+		<-ent.ready
+		return ent.shared
 	}
-	e = engine.New(key.kind, s.m, key.setting)
-	tpch.Setup(e, key.class)
-	s.mu.Lock()
-	s.engines[key] = e
+	ent = &storeEntry{ready: make(chan struct{})}
+	s.stores[key] = ent
 	s.mu.Unlock()
-	return e
+
+	s.loadMu.Lock()
+	e := engine.New(key.kind, s.m, key.setting)
+	tpch.Setup(e, key.class)
+	s.loadMu.Unlock()
+
+	ent.shared = e.Shared()
+	close(ent.ready)
+	return ent.shared
 }
 
-// Engines returns the number of distinct (profile, setting, class) engines
-// provisioned so far. Sessions negotiating identical parameters share one.
+// Engines returns the number of distinct (profile, setting, class) stores
+// provisioned so far. Sessions negotiating identical parameters share one,
+// whichever workers they land on.
 func (s *Server) Engines() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.engines)
+	return len(s.stores)
 }
 
 // ParseKind resolves an engine profile name ("postgresql", "pg",

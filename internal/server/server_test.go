@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"energydb/internal/core"
 	"energydb/internal/cpusim"
@@ -24,7 +26,17 @@ import (
 // with the test.
 func startServer(t testing.TB) (*server.Server, string) {
 	t.Helper()
-	srv, err := server.New(server.Config{Scale: 0.1})
+	return startServerCfg(t, server.Config{})
+}
+
+// startServerCfg is startServer with a caller-chosen config (worker count,
+// timeouts); Scale defaults to the fast 0.1 calibration.
+func startServerCfg(t testing.TB, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.1
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,9 +305,140 @@ func TestHandshakeRejects(t *testing.T) {
 	}
 }
 
+// TestLedgerPartitionParallel checks the partition invariant under real
+// parallelism: 16 concurrent sessions spread over 4 workers, each running
+// statements on its own simulated machine, and still (a) every session
+// ledger equals the sum of that session's per-query reports, (b) the
+// session ledgers sum to the server total, and (c) the per-worker ledgers
+// merge to the same total — no energy is lost or double-counted when
+// statements retire concurrently.
+func TestLedgerPartitionParallel(t *testing.T) {
+	srv, addr := startServerCfg(t, server.Config{Workers: 4})
+	if got := srv.Workers(); got != 4 {
+		t.Fatalf("Workers() = %d, want 4", got)
+	}
+
+	const clients = 16
+	const perClient = 3
+	actives := make([]float64, clients)
+	reported := make([]float64, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", i, err)
+				return
+			}
+			defer conn.Close()
+			for q := 0; q < perClient; q++ {
+				res, err := conn.Query(`\q6`)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				reported[i] += res.Energy.EActive
+				actives[i] = res.Energy.SessionActive
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	sum := 0.0
+	for i := range actives {
+		if math.Abs(actives[i]-reported[i]) > 1e-12*math.Max(actives[i], 1) {
+			t.Errorf("session %d: ledger %g != sum of its reports %g", i, actives[i], reported[i])
+		}
+		sum += actives[i]
+	}
+	total := srv.Totals()
+	if total.Queries != clients*perClient {
+		t.Errorf("server ledger counted %d queries, want %d", total.Queries, clients*perClient)
+	}
+	if rel := math.Abs(sum-total.EActive) / total.EActive; rel > 1e-9 {
+		t.Errorf("session ledgers (%g J) do not partition server total (%g J): rel err %g",
+			sum, total.EActive, rel)
+	}
+	var wsum server.LedgerTotals
+	for _, wt := range srv.WorkerTotals() {
+		wsum.Merge(wt)
+	}
+	if wsum.Queries != total.Queries || wsum.EActive != total.EActive {
+		t.Errorf("worker ledgers (%d q, %g J) do not merge to server total (%d q, %g J)",
+			wsum.Queries, wsum.EActive, total.Queries, total.EActive)
+	}
+}
+
+// TestStmtTimeout checks the runaway-statement guard: with a tiny statement
+// timeout the query is canceled cooperatively, the client gets a statement
+// error (not a dropped connection), the session stays usable, and nothing
+// enters the ledgers.
+func TestStmtTimeout(t *testing.T) {
+	srv, addr := startServerCfg(t, server.Config{Workers: 1, StmtTimeout: time.Nanosecond})
+	conn, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	_, err = conn.Query(`\q1`)
+	if err == nil {
+		t.Fatal("expected statement timeout")
+	}
+	qe, ok := err.(*client.QueryError)
+	if !ok {
+		t.Fatalf("expected QueryError (session kept open), got %T: %v", err, err)
+	}
+	if !strings.Contains(qe.Error(), "statement timeout") {
+		t.Fatalf("error does not mention the timeout: %v", qe)
+	}
+	// The worker is not wedged and the session is still serving.
+	if _, err := conn.Query(`\q6`); err == nil {
+		t.Fatal("expected second statement to time out too")
+	} else if _, ok := err.(*client.QueryError); !ok {
+		t.Fatalf("session wedged after timeout: %T: %v", err, err)
+	}
+	if got := srv.Totals().Queries; got != 0 {
+		t.Errorf("timed-out statements entered the ledger: %d queries", got)
+	}
+}
+
+// TestConnDeadlines checks the stalled-client guard: with a read deadline
+// configured, a client that goes quiet is disconnected instead of pinning
+// its session forever, while a prompt client is unaffected.
+func TestConnDeadlines(t *testing.T) {
+	_, addr := startServerCfg(t, server.Config{
+		Workers:      1,
+		ReadTimeout:  300 * time.Millisecond,
+		WriteTimeout: 5 * time.Second,
+	})
+	conn, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Query(`\q6`); err != nil {
+		t.Fatalf("prompt query under read deadline failed: %v", err)
+	}
+	time.Sleep(time.Second) // stall past the deadline
+	if _, err := conn.Query(`\q6`); err == nil {
+		t.Fatal("expected transport error after stalling past the read deadline")
+	} else if _, ok := err.(*client.QueryError); ok {
+		t.Fatalf("expected a dropped connection, got statement error %v", err)
+	}
+}
+
 // TestEngineSharing checks two sessions negotiating the same parameters
-// share one engine (second handshake must not reload TPC-H) while different
-// parameters get distinct engines.
+// share one table store (second handshake must not reload TPC-H) while
+// different parameters get distinct stores — whichever workers the sessions
+// land on.
 func TestEngineSharing(t *testing.T) {
 	srv, addr := startServer(t)
 	a, err := client.Dial(addr, client.Options{Engine: "sqlite"})

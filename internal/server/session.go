@@ -2,9 +2,12 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"energydb/internal/core"
 	"energydb/internal/db/engine"
@@ -15,18 +18,32 @@ import (
 	"energydb/internal/tpch"
 )
 
-// session is one client connection: a negotiated engine, an energy ledger,
-// and a frame loop. The connection goroutine owns conn and the buffered
-// reader/writer exclusively; everything machine-side happens in scheduler
-// jobs (see the package comment).
+// session is one client connection: a negotiated engine view on its sticky
+// worker, an energy ledger, and a frame loop. The connection goroutine owns
+// conn and the buffered reader/writer exclusively; everything machine-side
+// happens in jobs on the session's worker (see the package comment).
 type session struct {
 	id   uint64
 	srv  *Server
 	conn net.Conn
 	w    *bufio.Writer
+	wk   *worker
 	eng  *engine.Engine
 
 	ledger Ledger
+}
+
+// submit runs fn on the session's worker goroutine, serialized fairly
+// against the worker's other sessions.
+func (s *session) submit(fn func()) error {
+	return s.wk.sched.submit(s.id, fn)
+}
+
+// armRead applies the per-frame read deadline, if configured.
+func (s *session) armRead() {
+	if d := s.srv.cfg.ReadTimeout; d > 0 {
+		s.conn.SetReadDeadline(time.Now().Add(d))
+	}
 }
 
 func (s *session) run() {
@@ -39,9 +56,11 @@ func (s *session) run() {
 		s.srv.cfg.Logf("session %d: handshake: %v", s.id, err)
 		return
 	}
-	s.srv.cfg.Logf("session %d: connected from %s", s.id, s.conn.RemoteAddr())
+	s.srv.cfg.Logf("session %d: connected from %s (worker %d)",
+		s.id, s.conn.RemoteAddr(), s.wk.id)
 
 	for {
+		s.armRead()
 		f, err := wire.Read(r)
 		if err != nil {
 			s.srv.cfg.Logf("session %d: closed (%v)", s.id, err)
@@ -63,8 +82,11 @@ func (s *session) run() {
 	}
 }
 
-// handshake negotiates the session engine.
+// handshake negotiates the session engine: it resolves (or waits for) the
+// shared table store on the connection goroutine — so a first-session TPC-H
+// load never stalls a worker — then attaches this session's worker view.
 func (s *session) handshake(r *bufio.Reader) error {
+	s.armRead()
 	f, err := wire.Read(r)
 	if err != nil {
 		return err
@@ -94,9 +116,11 @@ func (s *session) handshake(r *bufio.Reader) error {
 		return err
 	}
 	key := engineKey{kind: kind, setting: setting, class: class}
+	sh := s.srv.sharedStore(key)
+	s.wk = s.srv.pool.assign()
 	var eng *engine.Engine
-	if err := s.srv.sched.submit(s.id, func() {
-		eng = s.srv.provision(key)
+	if err := s.submit(func() {
+		eng = s.wk.engine(key, sh)
 	}); err != nil {
 		s.send(&wire.Error{Msg: err.Error()})
 		return err
@@ -112,16 +136,17 @@ func (s *session) handshake(r *bufio.Reader) error {
 	})
 }
 
-// serveQuery executes one statement on the worker and answers with
-// ResultSet + EnergyReport (or Error). Statement failures keep the session
-// open; only transport failures propagate.
+// serveQuery executes one statement on the session's worker and answers
+// with ResultSet + EnergyReport (or Error). Statement failures — including
+// statement timeouts — keep the session open; only transport failures
+// propagate.
 func (s *session) serveQuery(text string) error {
 	name, cols, rows, b, err := s.execute(text)
 	if err != nil {
 		return s.send(&wire.Error{Msg: err.Error()})
 	}
 	s.ledger.Add(b)
-	s.srv.total.Add(b)
+	s.wk.ledger.Add(b)
 	t := s.ledger.Totals()
 	rep := &wire.EnergyReport{
 		Name:        name,
@@ -149,8 +174,10 @@ func (s *session) serveQuery(text string) error {
 	return s.send(rep)
 }
 
-// execute runs the statement as a scheduler job, returning the collected
-// rows and the Eq. 1 breakdown of its measured Active energy.
+// execute runs the statement as jobs on the session's worker, returning the
+// collected rows and the Eq. 1 breakdown of its measured Active energy.
+// Plan building and execution both hold the store's statement-scoped read
+// lock, so concurrent DDL/DML on other workers cannot shift data mid-query.
 func (s *session) execute(text string) (name string, cols []string, rows []value.Row, b core.Breakdown, err error) {
 	text = strings.TrimSpace(text)
 	if text == "" {
@@ -169,7 +196,10 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 			return "", nil, nil, b, qErr
 		}
 		name = fmt.Sprintf("tpch-q%d", id)
-		if submitErr := s.srv.sched.submit(s.id, func() {
+		if submitErr := s.submit(func() {
+			sh := s.eng.Shared()
+			sh.RLock()
+			defer sh.RUnlock()
 			plan, buildErr = q.Build(s.eng)
 		}); submitErr != nil {
 			return "", nil, nil, b, submitErr
@@ -179,7 +209,10 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 		if parseErr != nil {
 			return "", nil, nil, b, parseErr
 		}
-		if submitErr := s.srv.sched.submit(s.id, func() {
+		if submitErr := s.submit(func() {
+			sh := s.eng.Shared()
+			sh.RLock()
+			defer sh.RUnlock()
 			plan, buildErr = sql.Plan(s.eng, stmt)
 		}); submitErr != nil {
 			return "", nil, nil, b, submitErr
@@ -191,17 +224,36 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 	cols = plan.Schema().Names()
 
 	var runErr error
-	if submitErr := s.srv.sched.submit(s.id, func() {
-		// Snapshot → run → delta, all on the worker: the profiler reads
-		// the PMU and RAPL counters immediately around the statement, so
-		// the delta is exactly this statement's footprint. Rows are
-		// collected (not rendered) inside the measured region, matching
-		// the paper's display-disabled methodology.
-		b = s.srv.prof.Profile(name, func() {
+	if submitErr := s.submit(func() {
+		sh := s.eng.Shared()
+		sh.RLock()
+		defer sh.RUnlock()
+		// A fresh per-statement cancel flag: a watchdog that fires late
+		// flips a flag no longer wired to anything, so it can never
+		// poison a later statement.
+		cancel := new(atomic.Bool)
+		s.eng.Ctx.Cancel = cancel
+		var watchdog *time.Timer
+		if d := s.srv.cfg.StmtTimeout; d > 0 {
+			watchdog = time.AfterFunc(d, func() { cancel.Store(true) })
+		}
+		// Snapshot → run → delta, all on this session's worker: the
+		// profiler reads the PMU and RAPL counters immediately around the
+		// statement, so the delta is exactly this statement's footprint.
+		// Rows are collected (not rendered) inside the measured region,
+		// matching the paper's display-disabled methodology.
+		b = s.wk.prof.Profile(name, func() {
 			rows, runErr = exec.Collect(plan)
 		})
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		s.eng.Ctx.Cancel = nil
 	}); submitErr != nil {
 		return "", nil, nil, b, submitErr
+	}
+	if errors.Is(runErr, exec.ErrCanceled) {
+		return "", nil, nil, b, fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
 	}
 	if runErr != nil {
 		return "", nil, nil, b, runErr
@@ -210,6 +262,9 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 }
 
 func (s *session) send(f wire.Frame) error {
+	if d := s.srv.cfg.WriteTimeout; d > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	if err := wire.Write(s.w, f); err != nil {
 		return err
 	}

@@ -127,11 +127,15 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		again, err := Decode(Encode(fr))
+		enc := Encode(fr)
+		again, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("re-decode of valid frame failed: %v", err)
 		}
-		if !reflect.DeepEqual(fr, again) {
+		// Compare the second encoding byte-for-byte rather than the decoded
+		// structs: DeepEqual is false for frames carrying NaN floats even
+		// though the round trip is exact.
+		if !bytes.Equal(enc, Encode(again)) {
 			t.Fatalf("re-encode changed frame: %#v vs %#v", fr, again)
 		}
 	})

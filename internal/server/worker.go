@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"energydb/internal/core"
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/rapl"
+)
+
+// worker is one execution lane: a private simulated machine (a NewLike clone
+// of the calibrated primary), its own RAPL meter and profiler, per-worker
+// engine views over the shared table stores, and a fair per-session
+// scheduler whose single goroutine owns all of it. Because the machine,
+// meter and engines are touched only from that goroutine, statement counter
+// deltas advance in isolation and per-statement attribution stays exact
+// without any machine-level locking.
+type worker struct {
+	id    int
+	sched *sched
+	m     *cpusim.Machine
+	meter *rapl.Meter
+	prof  *core.Profiler
+
+	// engines caches this worker's views of the shared stores, keyed like
+	// the stores themselves. Touched only on the worker goroutine.
+	engines map[engineKey]*engine.Engine
+
+	// ledger accumulates every statement retired on this worker. The
+	// server total is the merge of the worker ledgers; the per-session
+	// ledgers partition the same sum (each breakdown is added to exactly
+	// one session ledger and exactly one worker ledger).
+	ledger Ledger
+}
+
+// engine returns this worker's view of a shared store, creating it on first
+// use. Must run on the worker goroutine.
+func (w *worker) engine(key engineKey, sh *engine.Shared) *engine.Engine {
+	e, ok := w.engines[key]
+	if !ok {
+		e = sh.View(w.m)
+		w.engines[key] = e
+	}
+	return e
+}
+
+// pool is the set of workers plus the sticky session assignment counter.
+// Sessions are assigned round-robin at handshake and stay on their worker
+// for life, so a session's statements are serialized (protocol order) while
+// different sessions run genuinely in parallel.
+type pool struct {
+	workers []*worker
+	nextW   atomic.Uint64
+}
+
+// newPool clones the calibrated primary machine n times. Each worker's
+// meter gets a distinct deterministic noise seed so concurrent measurements
+// do not share an error stream.
+func newPool(n int, primary *cpusim.Machine, cal *core.Calibration, seed int64, noise float64) *pool {
+	p := &pool{workers: make([]*worker, n)}
+	for i := 0; i < n; i++ {
+		m := primary.NewLike()
+		meter := rapl.NewMeter(m, seed+int64(i)+1, noise)
+		p.workers[i] = &worker{
+			id:      i,
+			sched:   newSched(),
+			m:       m,
+			meter:   meter,
+			prof:    core.NewProfiler(m, meter, cal),
+			engines: make(map[engineKey]*engine.Engine),
+		}
+	}
+	return p
+}
+
+// assign picks the next worker round-robin (sticky: callers keep the result
+// for the session's lifetime).
+func (p *pool) assign() *worker {
+	return p.workers[(p.nextW.Add(1)-1)%uint64(len(p.workers))]
+}
+
+// close stops every worker's scheduler and waits for the goroutines to exit.
+func (p *pool) close() {
+	for _, w := range p.workers {
+		w.sched.close()
+	}
+}
