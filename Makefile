@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench fuzz
+.PHONY: all build test vet staticcheck race check bench fuzz
 
 all: build
 
@@ -17,22 +17,33 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Skipped with a notice when the binary is not
+# installed (CI installs it; local runs stay dependency-free).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # The race-detector pass covers the packages with real concurrency: the
 # server (sessions, scheduler, ledgers) and the engine layers it drives.
 race:
 	$(GO) test -race ./internal/server/... ./internal/db/...
 
-check: vet test race
+check: vet staticcheck test race
 
 # Scaling baseline for future PRs (see internal/server/bench_test.go).
 bench:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput -benchtime 2s ./internal/server/
 
-# Short fuzz pass over every fuzz target: the SQL parser (raw client text)
-# and both wire-protocol surfaces. FUZZTIME is overridable for CI smoke runs.
+# Short fuzz pass over every fuzz target: the SQL parser (raw client text),
+# the planner pipeline (parse → optimize → build → execute), and both
+# wire-protocol surfaces. FUZZTIME is overridable for CI smoke runs.
 FUZZTIME ?= 30s
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/db/sql/
+	$(GO) test -run xxx -fuzz FuzzPlan -fuzztime $(FUZZTIME) ./internal/db/plan/
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/server/wire/
 	$(GO) test -run xxx -fuzz FuzzQueryRoundTrip -fuzztime $(FUZZTIME) ./internal/server/wire/

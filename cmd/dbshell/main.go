@@ -30,6 +30,7 @@ import (
 	"energydb/internal/cpusim"
 	"energydb/internal/db/engine"
 	"energydb/internal/db/exec"
+	"energydb/internal/db/plan"
 	"energydb/internal/db/sql"
 	"energydb/internal/db/value"
 	"energydb/internal/mubench"
@@ -75,7 +76,7 @@ func main() {
 	} else if err := sh.setupLocal(); err != nil {
 		fatal(err)
 	}
-	fmt.Println(`Ready. End statements with a newline; \tables lists tables; \connect <addr> goes remote; \quit exits.`)
+	fmt.Println(`Ready. End statements with a newline; EXPLAIN [ENERGY] <select> shows the optimizer's plan (ENERGY: measured per-operator attribution); \tables lists tables; \connect <addr> goes remote; \quit exits.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -249,18 +250,45 @@ func (sh *shell) localTPCH(line string) {
 	printBreakdown(b)
 }
 
-// localSQL parses, plans and profiles one SQL statement locally.
+// localSQL parses, plans and profiles one SQL statement locally. EXPLAIN
+// renders the optimizer's chosen plan with predicted energy; EXPLAIN ENERGY
+// executes it with per-operator metering and prints the measured
+// attribution.
 func (sh *shell) localSQL(line string) {
 	if err := sh.setupLocal(); err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	stmt, err := sql.Parse(line)
+	stmt, err := sql.ParseStatement(line)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	plan, err := sql.Plan(sh.eng, stmt)
+	if ex, ok := stmt.(*sql.ExplainStmt); ok {
+		p, err := plan.Prepare(sh.eng, ex.Select)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if !ex.Energy {
+			rows, _ := p.Explain()
+			for _, r := range rows {
+				fmt.Println(r[0].S)
+			}
+			return
+		}
+		rows, _, b, err := p.ExplainEnergy(sh.prof)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for _, r := range rows {
+			fmt.Println(r[0].S)
+		}
+		printBreakdown(b)
+		return
+	}
+	op, err := plan.Plan(sh.eng, stmt.(*sql.SelectStmt))
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -270,13 +298,13 @@ func (sh *shell) localSQL(line string) {
 	b := sh.prof.Profile("query", func() {
 		// Rows are collected (not printed) inside the measured
 		// region, matching the paper's display-disabled runs.
-		rows, runErr = exec.Collect(plan)
+		rows, runErr = exec.Collect(op)
 	})
 	if runErr != nil {
 		fmt.Println("error:", runErr)
 		return
 	}
-	sh.printRows(plan.Schema().Names(), rows)
+	sh.printRows(op.Schema().Names(), rows)
 	printBreakdown(b)
 }
 

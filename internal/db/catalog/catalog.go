@@ -100,7 +100,47 @@ func (s *Schema) Concat(o *Schema) *Schema {
 	return &Schema{Columns: cols}
 }
 
-// TableStats carries basic optimizer statistics.
+// ColStats summarizes one column for the optimizer: distinct-value count
+// and value bounds, the inputs to equality and range selectivity estimates.
+type ColStats struct {
+	// Distinct is the number of distinct values observed (0 for an empty
+	// column).
+	Distinct int
+	// Min and Max bound the observed values; Null when the column is
+	// empty.
+	Min value.Value
+	Max value.Value
+}
+
+// TableStats carries optimizer statistics for one table: cardinality,
+// per-column summaries and a uniform row sample for predicate selectivity.
 type TableStats struct {
 	RowCount int
+	// Cols holds per-column statistics, indexed like Schema.Columns.
+	Cols []ColStats
+	// Sample is a uniform sample of full rows (every k-th row, up to a
+	// small cap); selectivity of arbitrary predicates is estimated by
+	// evaluating them over the sample.
+	Sample []value.Row
+}
+
+// Selectivity estimates the fraction of rows matching pred by evaluating it
+// over the sample. With no sample it returns def.
+func (s *TableStats) Selectivity(pred func(value.Row) bool, def float64) float64 {
+	if s == nil || len(s.Sample) == 0 {
+		return def
+	}
+	hit := 0
+	for _, r := range s.Sample {
+		if pred(r) {
+			hit++
+		}
+	}
+	// Clamp away from 0: a sample miss does not prove emptiness, and a
+	// zero estimate would let the cost model assume free downstream work.
+	sel := float64(hit) / float64(len(s.Sample))
+	if min := 0.5 / float64(len(s.Sample)); sel < min {
+		sel = min
+	}
+	return sel
 }

@@ -237,6 +237,13 @@ type sharedTable struct {
 	schema  *catalog.Schema
 	data    *storage.TableData
 	indexes map[string]*btree.Tree
+
+	// statsMu guards the cached optimizer statistics below. It is
+	// independent of the statement-scoped store lock: planning happens
+	// under Shared.RLock on many workers at once, and the first planner
+	// to need statistics computes them for everyone.
+	statsMu sync.Mutex
+	stats   *catalog.TableStats
 }
 
 // Shared is the table store of one database instance: everything that is

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/storage"
+	"energydb/internal/db/value"
+)
+
+// statsSampleCap bounds the uniform row sample kept per table.
+const statsSampleCap = 128
+
+// statsSketchK is the k-minimum-values sketch size for distinct counting:
+// exact below k, ~6% relative error above it — plenty for selectivity and
+// join fan-out estimates.
+const statsSketchK = 1024
+
+// Stats returns optimizer statistics for a table, computing them on first
+// use and caching them on the shared table store. The ANALYZE pass walks raw
+// rows on the Go side (no simulated accesses), so collecting statistics
+// never pollutes a measured statement. The cache is invalidated whenever the
+// row count changes; it is guarded by its own mutex so concurrent workers
+// planning under the statement read lock race neither each other nor the
+// cache.
+func (e *Engine) Stats(t *Table) *catalog.TableStats {
+	st, ok := e.shared.tables[t.Name]
+	if !ok {
+		// A table not in the store (unit-test constructions): compute
+		// uncached.
+		return analyze(t.File.Data(), t.Schema())
+	}
+	st.statsMu.Lock()
+	defer st.statsMu.Unlock()
+	n := t.File.RowCount()
+	if st.stats == nil || st.stats.RowCount != n {
+		st.stats = analyze(st.data, st.schema)
+	}
+	return st.stats
+}
+
+// analyze computes table statistics in one raw pass: row count, per-column
+// min/max and distinct sketches, and a uniform row sample.
+func analyze(data *storage.TableData, schema *catalog.Schema) *catalog.TableStats {
+	ncols := len(schema.Columns)
+	sketches := make([]kmvSketch, ncols)
+	for i := range sketches {
+		sketches[i] = newKMV(statsSketchK)
+	}
+	stats := &catalog.TableStats{Cols: make([]catalog.ColStats, ncols)}
+	cols := stats.Cols
+	for i := range cols {
+		cols[i].Min = value.Null()
+		cols[i].Max = value.Null()
+	}
+	count := 0
+	data.ForEachRaw(func(id int, row value.Row) { count++ })
+	stride := 1
+	if count > statsSampleCap {
+		stride = (count + statsSampleCap - 1) / statsSampleCap
+	}
+	data.ForEachRaw(func(id int, row value.Row) {
+		stats.RowCount++
+		if id%stride == 0 {
+			stats.Sample = append(stats.Sample, row.Clone())
+		}
+		for i := 0; i < ncols && i < len(row); i++ {
+			v := row[i]
+			if v.IsNull() {
+				continue
+			}
+			if cols[i].Min.IsNull() || value.Compare(v, cols[i].Min) < 0 {
+				cols[i].Min = v
+			}
+			if cols[i].Max.IsNull() || value.Compare(v, cols[i].Max) > 0 {
+				cols[i].Max = v
+			}
+			sketches[i].add(value.MakeKey(v).Hash())
+		}
+	})
+	for i := range cols {
+		cols[i].Distinct = sketches[i].estimate()
+	}
+	return stats
+}
+
+// kmvSketch estimates a column's distinct count by tracking the k smallest
+// distinct 64-bit value hashes: exact while fewer than k distinct hashes
+// were seen, else distinct ≈ (k-1)·2^64/kthMin.
+type kmvSketch struct {
+	k   int
+	set map[uint64]struct{}
+	max uint64
+}
+
+func newKMV(k int) kmvSketch {
+	return kmvSketch{k: k, set: make(map[uint64]struct{}, k)}
+}
+
+func (s *kmvSketch) add(h uint64) {
+	if _, ok := s.set[h]; ok {
+		return
+	}
+	if len(s.set) < s.k {
+		s.set[h] = struct{}{}
+		if h > s.max {
+			s.max = h
+		}
+		return
+	}
+	if h >= s.max {
+		return
+	}
+	delete(s.set, s.max)
+	s.set[h] = struct{}{}
+	s.max = 0
+	for x := range s.set {
+		if x > s.max {
+			s.max = x
+		}
+	}
+}
+
+func (s *kmvSketch) estimate() int {
+	if len(s.set) < s.k {
+		return len(s.set)
+	}
+	// kthMin as a fraction of the hash space.
+	frac := float64(s.max) / float64(^uint64(0))
+	if frac <= 0 {
+		return len(s.set)
+	}
+	return int(float64(s.k-1) / frac)
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// MeterSet coordinates per-operator counter attribution across one plan
+// tree. Every Metered boundary crossing (Open/Next/Close entering or
+// leaving an operator) snapshots the machine's PMU counters; the delta
+// since the previous boundary is credited to whichever operator was
+// running. Because counters are cumulative and every simulated access
+// lands between two boundaries, the per-operator exclusive counters sum
+// exactly to the whole statement's counter delta — the property the
+// EXPLAIN ENERGY attribution relies on to make per-operator energies sum
+// to the statement ledger total.
+//
+// A MeterSet (and the Metered tree built over it) is single-use and
+// single-goroutine, like the executor itself.
+type MeterSet struct {
+	h     *memsim.Hierarchy
+	stack []*Metered
+	last  memsim.Counters
+}
+
+// NewMeterSet builds a meter set over the context's machine.
+func NewMeterSet(ctx *Ctx) *MeterSet {
+	return &MeterSet{h: ctx.M.Hier}
+}
+
+func (ms *MeterSet) enter(m *Metered) {
+	now := ms.h.Counters()
+	if n := len(ms.stack); n > 0 {
+		top := ms.stack[n-1]
+		top.own = top.own.Add(now.Sub(ms.last))
+	}
+	ms.stack = append(ms.stack, m)
+	ms.last = now
+}
+
+func (ms *MeterSet) exit(m *Metered) {
+	now := ms.h.Counters()
+	m.own = m.own.Add(now.Sub(ms.last))
+	ms.stack = ms.stack[:len(ms.stack)-1]
+	ms.last = now
+}
+
+// Metered wraps an operator and records the PMU counters its own work (not
+// its children's) advances, plus its emitted row count. Wrap every node of
+// a plan with Metered over one shared MeterSet to get an exact per-operator
+// decomposition of the statement's counter footprint.
+type Metered struct {
+	Set   *MeterSet
+	Child Operator
+	// Label names the wrapped operator for EXPLAIN output.
+	Label string
+	// Kids are the metered children of Child, for inclusive rollups.
+	Kids []*Metered
+
+	own  memsim.Counters
+	rows int
+}
+
+// Schema implements Operator.
+func (m *Metered) Schema() *catalog.Schema { return m.Child.Schema() }
+
+// Open implements Operator.
+func (m *Metered) Open() error {
+	m.Set.enter(m)
+	defer m.Set.exit(m)
+	return m.Child.Open()
+}
+
+// Next implements Operator.
+func (m *Metered) Next() (value.Row, bool, error) {
+	m.Set.enter(m)
+	defer m.Set.exit(m)
+	row, ok, err := m.Child.Next()
+	if ok {
+		m.rows++
+	}
+	return row, ok, err
+}
+
+// Close implements Operator.
+func (m *Metered) Close() error {
+	m.Set.enter(m)
+	defer m.Set.exit(m)
+	return m.Child.Close()
+}
+
+// Own returns the counters attributed exclusively to this operator.
+func (m *Metered) Own() memsim.Counters { return m.own }
+
+// Rows returns how many rows the operator emitted.
+func (m *Metered) Rows() int { return m.rows }
+
+// Inclusive returns this operator's counters including all metered
+// descendants.
+func (m *Metered) Inclusive() memsim.Counters {
+	c := m.own
+	for _, k := range m.Kids {
+		c = c.Add(k.Inclusive())
+	}
+	return c
+}

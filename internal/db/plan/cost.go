@@ -1,0 +1,290 @@
+package plan
+
+import (
+	"math"
+
+	"energydb/internal/db/engine"
+	"energydb/internal/memsim"
+)
+
+// est accumulates estimated micro-operation counts for a plan fragment, in
+// fractional units. The fields mirror the energy-bearing PMU counters of
+// memsim.Counters (the paper's N_m terms); pricing converts them through the
+// machine's calibrated ΔE_m table, so the cost model and the measurement
+// share one energy vocabulary.
+type est struct {
+	l1d   float64 // demand L1D accesses (N_L1D)
+	reg2  float64 // stores completing in L1D (N_Reg2L1D)
+	l2    float64 // demand L2 accesses
+	l3    float64 // demand L3 accesses
+	mem   float64 // demand DRAM accesses
+	pfL2  float64 // streamer prefetches filling L2 (priced ΔE_L3)
+	pfL3  float64 // streamer prefetches filling L3 (priced ΔE_mem)
+	stall float64 // stall cycles (N_stall)
+	add   float64 // arithmetic ops
+	other float64 // plain instructions (E_other carrier)
+}
+
+func (a *est) addIn(b est) {
+	a.l1d += b.l1d
+	a.reg2 += b.reg2
+	a.l2 += b.l2
+	a.l3 += b.l3
+	a.mem += b.mem
+	a.pfL2 += b.pfL2
+	a.pfL3 += b.pfL3
+	a.stall += b.stall
+	a.add += b.add
+	a.other += b.other
+}
+
+// counters rounds the estimate into PMU counter form for pricing.
+func (a est) counters() memsim.Counters {
+	r := func(f float64) uint64 {
+		if f <= 0 {
+			return 0
+		}
+		return uint64(f + 0.5)
+	}
+	return memsim.Counters{
+		L1DAccesses:  r(a.l1d),
+		StoreL1DHits: r(a.reg2),
+		L2Accesses:   r(a.l2),
+		L3Accesses:   r(a.l3),
+		MemAccesses:  r(a.mem),
+		PrefetchL2:   r(a.pfL2),
+		PrefetchL3:   r(a.pfL3),
+		StallCycles:  r(a.stall),
+		AddOps:       r(a.add),
+		OtherOps:     r(a.other),
+	}
+}
+
+// coster estimates operator energy on one engine: it knows the machine's
+// cache geometry and latencies, the profile's executor cost model, and how to
+// price a micro-op estimate with the machine's ground-truth ΔE table.
+type coster struct {
+	e                         *engine.Engine
+	l1Bytes, l2Bytes, l3Bytes float64
+	depL1, depL2, depL3       float64 // dependent-load stall cycles per level
+	depMem                    float64
+	indL2, indL3, indMem      float64 // independent (pipelined) stalls per level
+}
+
+func newCoster(e *engine.Engine) *coster {
+	cfg := e.M.Profile.Mem
+	dep := func(lat int) float64 { return float64(lat - 1) }
+	ind := func(lat int) float64 { return float64((lat - 4) / 4) }
+	return &coster{
+		e:       e,
+		l1Bytes: float64(cfg.L1D.SizeBytes),
+		l2Bytes: float64(cfg.L2.SizeBytes),
+		l3Bytes: float64(cfg.L3.SizeBytes),
+		depL1:   dep(cfg.L1D.LatencyCycles),
+		depL2:   dep(cfg.L2.LatencyCycles),
+		depL3:   dep(cfg.L3.LatencyCycles),
+		depMem:  dep(cfg.MemLatencyCycles),
+		indL2:   ind(cfg.L2.LatencyCycles),
+		indL3:   ind(cfg.L3.LatencyCycles),
+		indMem:  ind(cfg.MemLatencyCycles),
+	}
+}
+
+// price converts a micro-op estimate to joules of active energy at the
+// engine's current operating point.
+func (c *coster) price(a est) float64 {
+	return c.e.M.Profile.Energy.Active(a.counters(), c.e.M.PState()).Total()
+}
+
+// tuple charges the profile's per-tuple interpretation overhead for n rows
+// (hot loads, hot stores, plain instructions — all cache-resident).
+func (c *coster) tuple(a *est, n float64) {
+	cm := c.e.Ctx.Cost
+	a.l1d += n * float64(cm.TupleLoads)
+	a.reg2 += n * float64(cm.TupleStores)
+	a.other += n * float64(cm.TupleInstr)
+}
+
+// eval charges expression evaluation of `nodes` AST nodes over n rows.
+func (c *coster) eval(a *est, n float64, nodes int) {
+	if nodes <= 0 {
+		return
+	}
+	cm := c.e.Ctx.Cost
+	f := n * float64(nodes)
+	a.l1d += f * float64(cm.EvalLoads)
+	a.reg2 += f * float64(cm.EvalStores)
+	a.other += f * float64(cm.EvalInstr)
+}
+
+// emit charges the output-row copy for n rows of the given byte width.
+func (c *coster) emit(a *est, n, width float64) {
+	if !c.e.Ctx.Cost.EmitRowCopy || width <= 0 {
+		return
+	}
+	a.reg2 += n * math.Ceil(width/64)
+}
+
+// randLoad charges n dependent loads at uniformly random addresses within a
+// working set of setBytes, blending hit levels by the fraction of the set
+// each cache level holds.
+func (c *coster) randLoad(a *est, n, setBytes float64) {
+	if n <= 0 {
+		return
+	}
+	clamp := func(f float64) float64 { return math.Min(1, math.Max(0, f)) }
+	p1 := 1.0
+	if setBytes > 0 {
+		p1 = clamp(c.l1Bytes / setBytes)
+	}
+	p2 := clamp(c.l2Bytes/setBytes) - p1
+	p3 := clamp(c.l3Bytes/setBytes) - p1 - p2
+	pm := 1 - p1 - p2 - p3
+	a.l1d += n
+	a.l2 += n * (1 - p1)
+	a.l3 += n * (1 - p1 - p2)
+	a.mem += n * pm
+	a.stall += n * (p1*c.depL1 + p2*c.depL2 + p3*c.depL3 + pm*c.depMem)
+}
+
+// seqLines charges `lines` cache lines streamed sequentially out of a data
+// set of setBytes, modeling the streamer prefetcher: sets within L2 hit L2
+// directly; sets within L3 are prefetched L3→L2 ahead of the demand stream;
+// larger sets also prefetch DRAM→L3, with a couple of demand misses per 4KB
+// page going all the way to memory while the streamer retrains.
+func (c *coster) seqLines(a *est, lines, setBytes float64) {
+	if lines <= 0 {
+		return
+	}
+	switch {
+	case setBytes <= c.l2Bytes:
+		a.l2 += lines
+		a.stall += lines * c.indL2
+	case setBytes <= 0.8*c.l3Bytes:
+		a.l2 += lines
+		a.pfL2 += lines
+		a.stall += lines * c.indL2
+	default:
+		// Steady state: one L3→L2 prefetch per line; only the stream
+		// fraction that does not fit in L3 is refilled from DRAM, with ~2
+		// training lines per 4KB page (64 lines) missing all the way.
+		miss := math.Min(1, math.Max(0, 1-c.l3Bytes/setBytes))
+		const trainFrac = 2.0 / 64
+		deep := lines * trainFrac * miss
+		rest := lines - deep
+		a.l2 += lines
+		a.pfL2 += rest
+		a.pfL3 += rest * miss
+		a.l3 += deep
+		a.mem += deep
+		a.stall += rest*c.indL2 + deep*c.indMem
+	}
+}
+
+// coldLines charges `lines` page-fault fill lines: each faulted line is
+// store-missed into the pool frame (walking L2, L3 and DRAM), after which the
+// row loads on that page hit L1D.
+func (c *coster) coldLines(a *est, lines float64) {
+	a.l2 += lines
+	a.l3 += lines
+	a.mem += lines
+	a.stall += lines * c.indMem
+}
+
+// table-shaped helpers -------------------------------------------------------
+
+// heapRowWidth is the on-page row width including the profile's tuple header.
+func (c *coster) heapRowWidth(t *engine.Table) float64 {
+	return float64(t.Schema().RowWidth() + c.e.Knobs.TupleOverhead)
+}
+
+// heapBytes approximates the heap file's footprint.
+func (c *coster) heapBytes(t *engine.Table) float64 {
+	return float64(t.File.RowCount()) * c.heapRowWidth(t)
+}
+
+// residentFrac reports the fraction of the heap's pages currently in the
+// buffer pool (plan-time residency stands in for the steady-state hit rate).
+func residentFrac(t *engine.Table) float64 {
+	res, total := t.File.ResidentPages()
+	if total == 0 {
+		return 1
+	}
+	return float64(res) / float64(total)
+}
+
+// scanHeap charges a full sequential scan of the heap (excluding per-row
+// executor overhead, which callers charge against the scanned row count).
+func (c *coster) scanHeap(a *est, t *engine.Table) {
+	rows := float64(t.File.RowCount())
+	if rows == 0 {
+		return
+	}
+	w := c.heapRowWidth(t)
+	rowLines := math.Ceil(w / 64)
+	newLines := w / 64
+	a.l1d += rows * rowLines // LoadRange issues one load per covered line
+	r := residentFrac(t)
+	c.seqLines(a, rows*newLines*r, c.heapBytes(t))
+	if r < 1 {
+		// Faulted pages fill frame lines from the device; subsequent row
+		// loads on the page then hit L1D (already counted above).
+		pages := (1 - r) * c.heapBytes(t) / float64(c.e.Knobs.PageBytes)
+		c.coldLines(a, pages*float64(c.e.Knobs.PageBytes)/64)
+	}
+	// One pool-frame lookup per page.
+	pageRows := float64(c.e.Knobs.PageBytes) / w
+	c.randLoad(a, rows/pageRows, c.l2Bytes)
+}
+
+// indexBytes approximates a secondary index's footprint (16-byte entries
+// plus interior-node overhead).
+func indexBytes(entries int) float64 {
+	return float64(entries) * 16 * 1.07
+}
+
+// btreeDescend charges n root-to-leaf descents of the index on t.col.
+func (c *coster) btreeDescend(a *est, n float64, height, order, entries int) {
+	if n <= 0 || height <= 0 {
+		return
+	}
+	perNode := float64(order) / 2
+	probes := math.Ceil(math.Log2(math.Max(2, perNode))) + 1
+	setBytes := indexBytes(entries)
+	for lvl := 0; lvl < height; lvl++ {
+		// Header load plus the binary-search probes, all dependent.
+		c.randLoad(a, n*(1+probes), setBytes)
+		a.other += n * probes
+	}
+}
+
+// indexEntries charges iterating `n` consecutive index entries (four 16-byte
+// entries per line; leaf hops are folded into the per-line miss).
+func (c *coster) indexEntries(a *est, n float64, entries int) {
+	if n <= 0 {
+		return
+	}
+	a.l1d += n
+	miss := est{}
+	c.randLoad(&miss, n/4, indexBytes(entries))
+	miss.l1d = 0 // the demand access is already counted
+	a.addIn(miss)
+}
+
+// heapFetch charges n random single-row fetches from the heap.
+func (c *coster) heapFetch(a *est, n float64, t *engine.Table) {
+	if n <= 0 {
+		return
+	}
+	w := c.heapRowWidth(t)
+	lines := math.Ceil(w / 64)
+	r := residentFrac(t)
+	c.randLoad(a, n*lines*r, c.heapBytes(t))
+	if r < 1 {
+		pageLines := float64(c.e.Knobs.PageBytes) / 64
+		c.coldLines(a, n*(1-r)*pageLines)
+		a.l1d += n * (1 - r) * lines
+	}
+	// Pool frame lookup.
+	c.randLoad(a, n, c.l2Bytes)
+}

@@ -1,0 +1,202 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"energydb/internal/core"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// Title names the operator for EXPLAIN output and meter labels.
+func (n *Node) Title() string {
+	switch n.Kind {
+	case opSeqScan:
+		return "SeqScan " + n.TableName
+	case opIndexScan:
+		return fmt.Sprintf("IndexScan %s (%s)", n.TableName, n.IdxCol)
+	case opIndexJoin:
+		return fmt.Sprintf("IndexJoin %s (%s = %s)", n.TableName, n.OuterColName, n.InnerColName)
+	case opHashJoin:
+		return fmt.Sprintf("HashJoin (%s = %s)", n.OuterColName, n.InnerColName)
+	case opFilter:
+		return "Filter"
+	case opPrune:
+		return fmt.Sprintf("Prune [%s]", strings.Join(n.schema.Names(), ", "))
+	case opProject:
+		return fmt.Sprintf("Project [%s]", strings.Join(n.Names, ", "))
+	case opAggregate:
+		return "HashAggregate"
+	case opSort:
+		return fmt.Sprintf("Sort [%s]", strings.Join(n.SortNames, ", "))
+	case opLimit:
+		return fmt.Sprintf("Limit %d", n.LimitN)
+	default:
+		return "?"
+	}
+}
+
+// detail renders the node's predicate/bound/key annotations.
+func (n *Node) detail() string {
+	var parts []string
+	if n.Kind == opIndexScan {
+		lo, hi := "..", ".."
+		if n.Lo != nil {
+			lo = n.Lo.String()
+		}
+		if n.Hi != nil {
+			hi = n.Hi.String()
+		}
+		parts = append(parts, fmt.Sprintf("range=[%s, %s]", lo, hi))
+	}
+	if n.Kind == opAggregate {
+		parts = append(parts, fmt.Sprintf("keys=[%s]", strings.Join(n.GroupNames, ", ")))
+		names := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			names[i] = a.Name
+		}
+		parts = append(parts, fmt.Sprintf("aggs=[%s]", strings.Join(names, ", ")))
+	}
+	if n.FilterStr != "" {
+		parts = append(parts, "filter=("+n.FilterStr+")")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+// fmtEnergy renders joules with a readable unit.
+func fmtEnergy(j float64) string {
+	switch {
+	case j >= 1:
+		return fmt.Sprintf("%.3gJ", j)
+	case j >= 1e-3:
+		return fmt.Sprintf("%.3gmJ", j*1e3)
+	case j >= 1e-6:
+		return fmt.Sprintf("%.3guJ", j*1e6)
+	default:
+		return fmt.Sprintf("%.3gnJ", j*1e9)
+	}
+}
+
+// walkTree renders the node tree with box-drawing connectors; line receives
+// each node and its rendered prefix.
+func walkTree(root *Node, line func(n *Node, prefix string)) {
+	var walk func(n *Node, prefix, childPrefix string)
+	walk = func(n *Node, prefix, childPrefix string) {
+		line(n, prefix)
+		for i, k := range n.Kids {
+			if i == len(n.Kids)-1 {
+				walk(k, childPrefix+"└─ ", childPrefix+"   ")
+			} else {
+				walk(k, childPrefix+"├─ ", childPrefix+"│  ")
+			}
+		}
+	}
+	walk(root, "", "")
+}
+
+// ExplainColumns is the output schema of EXPLAIN results.
+var ExplainColumns = []string{"plan"}
+
+// Explain renders the chosen physical plan, one row per operator, with the
+// optimizer's cardinality and active-energy predictions.
+func (p *Prepared) Explain() ([]value.Row, []string) {
+	var rows []value.Row
+	walkTree(p.Root, func(n *Node, prefix string) {
+		line := fmt.Sprintf("%s%s%s  (rows≈%.0f, E≈%s)",
+			prefix, n.Title(), n.detail(), n.EstRows, fmtEnergy(n.EstEJ))
+		rows = append(rows, value.Row{value.Str(line)})
+	})
+	total := fmt.Sprintf("predicted total: E≈%s", fmtEnergy(p.PredictedEJ()))
+	rows = append(rows, value.Row{value.Str(total)})
+	return rows, ExplainColumns
+}
+
+// PredictedEJ sums the per-operator energy predictions.
+func (p *Prepared) PredictedEJ() float64 {
+	total := 0.0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		total += n.EstEJ
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(p.Root)
+	return total
+}
+
+// ExplainEnergy executes the plan with per-operator metering under the
+// profiler and renders the measured attribution: each operator's exclusive
+// counters are priced with the calibrated ΔE_m table and scaled so the
+// per-operator energies sum exactly to the statement's measured Eactive
+// (the counter deltas partition the run, so the scale factor only absorbs
+// the E_other residual that Eq. 1 cannot place).
+//
+// It returns the rendered rows and the statement-level breakdown (for the
+// caller's energy ledger).
+func (p *Prepared) ExplainEnergy(prof *core.Profiler) ([]value.Row, []string, core.Breakdown, error) {
+	op, meters, err := p.BuildMetered()
+	if err != nil {
+		return nil, nil, core.Breakdown{}, err
+	}
+	var runErr error
+	b := prof.Profile("explain-energy", func() {
+		_, runErr = exec.Drain(op)
+	})
+	if runErr != nil {
+		return nil, nil, core.Breakdown{}, runErr
+	}
+
+	price := func(c memsim.Counters) float64 {
+		return p.E.M.Profile.Energy.Active(c, p.E.M.PState()).Total()
+	}
+	sum := 0.0
+	var each func(n *Node)
+	each = func(n *Node) {
+		sum += price(meters[n].Own())
+		for _, k := range n.Kids {
+			each(k)
+		}
+	}
+	each(p.Root)
+	scale := 1.0
+	if sum > 0 && b.EActive > 0 {
+		scale = b.EActive / sum
+	}
+
+	var rows []value.Row
+	walkTree(p.Root, func(n *Node, prefix string) {
+		m := meters[n]
+		eJ := price(m.Own()) * scale
+		nb := prof.Cal.BreakdownCounters(n.Title(), m.Own(), eJ)
+		share := 0.0
+		if b.EActive > 0 {
+			share = eJ / b.EActive
+		}
+		line := fmt.Sprintf("%s%s%s  (rows=%d, E=%s %4.1f%%, L1D+Reg2L1D %4.1f%%)",
+			prefix, n.Title(), n.detail(), m.Rows(), fmtEnergy(eJ),
+			share*100, nb.L1DShare()*100)
+		rows = append(rows, value.Row{value.Str(line)})
+	})
+	stmt := prof.Cal.BreakdownCounters("statement", b.Counters, b.EActive)
+	rows = append(rows,
+		value.Row{value.Str(fmt.Sprintf("measured total: Eactive=%s, L1D+Reg2L1D %.1f%%",
+			fmtEnergy(b.EActive), stmt.L1DShare()*100))},
+		value.Row{value.Str(fmt.Sprintf("predicted total: E≈%s (%+.1f%% vs measured)",
+			fmtEnergy(p.PredictedEJ()), relErr(p.PredictedEJ(), b.EActive)*100))},
+	)
+	return rows, ExplainColumns, b, nil
+}
+
+// relErr is (predicted - measured) / measured.
+func relErr(pred, meas float64) float64 {
+	if meas == 0 {
+		return 0
+	}
+	return (pred - meas) / meas
+}

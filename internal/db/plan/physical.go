@@ -1,0 +1,864 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/sql"
+	"energydb/internal/db/value"
+)
+
+// opKind enumerates the physical operators a plan node can choose.
+type opKind int
+
+const (
+	opSeqScan opKind = iota
+	opIndexScan
+	opIndexJoin
+	opHashJoin
+	opFilter
+	opPrune
+	opProject
+	opAggregate
+	opSort
+	opLimit
+)
+
+// Node is one operator of a chosen physical plan. Every decision the
+// optimizer makes — scan method, index bounds, join strategy and order,
+// pruned columns — is recorded in the node, so Build re-instantiates exactly
+// the same executor tree every time (re-planning could flip choices as
+// buffer-pool residency shifts; a Prepared plan must not).
+type Node struct {
+	Kind opKind
+	Kids []*Node
+
+	// Scans and the index-join inner side.
+	Table     *engine.Table
+	TableName string
+	// Filter is the pushed scan filter, join residual or filter predicate.
+	Filter    exec.Expr
+	FilterStr string
+	// IdxCol with Lo/Hi bound an index range scan ([nil, nil] is full).
+	IdxCol string
+	Lo, Hi *value.Value
+
+	// Joins: OuterKey indexes the probe/outer schema; InnerKey indexes the
+	// hash build subtree's schema.
+	OuterKey     int
+	InnerKey     int
+	OuterColName string
+	InnerColName string
+
+	// Prune: kept child-column indexes, in output order.
+	Cols []int
+
+	// Project.
+	Exprs []exec.Expr
+	Names []string
+
+	// Aggregate (hash aggregation plus the select-list re-projection).
+	GroupExprs  []exec.Expr
+	GroupNames  []string
+	Aggs        []exec.AggSpec
+	aggArgNodes int
+	PostExprs   []exec.Expr
+	PostNames   []string
+
+	// Sort.
+	SortKeys  []exec.SortKey
+	SortNames []string
+
+	// Limit.
+	LimitN int
+
+	schema *catalog.Schema
+	// EstRows is the estimated output cardinality.
+	EstRows float64
+	// EstEJ is the predicted exclusive active energy of this operator in
+	// joules (Eq. 1 micro-op counts priced with the machine's ΔE table).
+	EstEJ float64
+}
+
+// Schema returns the node's output schema.
+func (n *Node) Schema() *catalog.Schema { return n.schema }
+
+// planCtx carries the state of one planning run.
+type planCtx struct {
+	e    *engine.Engine
+	c    *coster
+	stmt *sql.SelectStmt
+	lp   *logical
+	// star disables column pruning (SELECT * needs every column).
+	star bool
+	// topRefs are the columns referenced above the join chain.
+	topRefs map[string]bool
+}
+
+func newPlanCtx(e *engine.Engine, stmt *sql.SelectStmt, lp *logical) *planCtx {
+	pc := &planCtx{e: e, c: newCoster(e), stmt: stmt, lp: lp, topRefs: map[string]bool{}}
+	for _, it := range stmt.Items {
+		if it.Star {
+			pc.star = true
+			continue
+		}
+		colRefs(it.Expr, pc.topRefs)
+	}
+	for _, g := range stmt.GroupBy {
+		colRefs(g, pc.topRefs)
+	}
+	for _, k := range stmt.OrderBy {
+		colRefs(k.Expr, pc.topRefs)
+	}
+	if len(lp.unplaced) > 0 {
+		// Unresolvable conjuncts keep the full schema so their compile
+		// error mentions the real relation.
+		pc.star = true
+	}
+	return pc
+}
+
+// exprNodes sums compiled expression node counts.
+func exprNodes(exprs ...exec.Expr) int {
+	n := 0
+	for _, e := range exprs {
+		if e != nil {
+			n += e.Nodes()
+		}
+	}
+	return n
+}
+
+// renderConds renders an AND chain for display.
+func renderConds(conds []sql.Node) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = render(c)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// chooseScan picks the cheapest access path for one relation: a sequential
+// scan with the pushed predicate, or — when a usable index bound exists — an
+// index range scan with the remaining conjuncts as residual. The choice is
+// by predicted active energy, not row count.
+func (pc *planCtx) chooseScan(r *rel) (*Node, error) {
+	pred, err := compileConds(r.conds, r.t.Schema())
+	if err != nil {
+		return nil, err
+	}
+	seq := &Node{
+		Kind: opSeqScan, Table: r.t, TableName: r.name,
+		Filter: pred, FilterStr: renderConds(r.conds),
+		schema:  r.t.Schema(),
+		EstRows: r.estRows,
+	}
+	pc.costSeqScan(seq)
+	best := seq
+
+	for col := range r.t.Indexes {
+		lo, hi, captured, rest := extractBounds(col, r.conds)
+		if lo == nil && hi == nil {
+			continue
+		}
+		resid, err := compileConds(rest, r.t.Schema())
+		if err != nil {
+			return nil, err
+		}
+		rangeSel := selectivity(r.stats, r.t.Schema(), captured)
+		cand := &Node{
+			Kind: opIndexScan, Table: r.t, TableName: r.name,
+			IdxCol: col, Lo: lo, Hi: hi,
+			Filter: resid, FilterStr: renderConds(rest),
+			schema:  r.t.Schema(),
+			EstRows: r.estRows,
+		}
+		pc.costIndexScan(cand, float64(r.stats.RowCount)*rangeSel)
+		if cand.EstEJ < best.EstEJ {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+func compileConds(conds []sql.Node, schema *catalog.Schema) (exec.Expr, error) {
+	pred := andChain(conds)
+	if pred == nil {
+		return nil, nil
+	}
+	return compile(pred, schema)
+}
+
+// litValue lowers an AST literal to a datum (date-aware), or fails.
+func litValue(n sql.Node) (value.Value, bool) {
+	switch v := n.(type) {
+	case sql.NumNode:
+		if v.Value == float64(int64(v.Value)) {
+			return value.Int(int64(v.Value)), true
+		}
+		return value.Float(v.Value), true
+	case sql.StrNode:
+		return literal(v.Value), true
+	}
+	return value.Value{}, false
+}
+
+// extractBounds derives index range bounds on col from single-table
+// conjuncts. Conjuncts fully captured by the inclusive [lo, hi] range are
+// dropped from the residual; strict comparisons tighten the bound but stay
+// residual (the index range is inclusive).
+func extractBounds(col string, conds []sql.Node) (lo, hi *value.Value, captured, rest []sql.Node) {
+	setLo := func(v value.Value) {
+		if lo == nil || value.Compare(v, *lo) > 0 {
+			lo = &v
+		}
+	}
+	setHi := func(v value.Value) {
+		if hi == nil || value.Compare(v, *hi) < 0 {
+			hi = &v
+		}
+	}
+	for _, cond := range conds {
+		full := false // fully captured by the inclusive range?
+		switch v := cond.(type) {
+		case sql.BetweenNode:
+			c, ok := v.E.(sql.ColNode)
+			loV, okL := litValue(v.Lo)
+			hiV, okH := litValue(v.Hi)
+			if ok && c.Name == col && okL && okH {
+				setLo(loV)
+				setHi(hiV)
+				full = true
+			}
+		case sql.BinNode:
+			op := v.Op
+			c, okC := v.L.(sql.ColNode)
+			lit, okV := litValue(v.R)
+			if !okC || !okV {
+				// literal OP col — mirror the operator.
+				if c2, ok := v.R.(sql.ColNode); ok {
+					if lit2, ok2 := litValue(v.L); ok2 {
+						c, lit, okC, okV = c2, lit2, true, true
+						switch op {
+						case "<":
+							op = ">"
+						case "<=":
+							op = ">="
+						case ">":
+							op = "<"
+						case ">=":
+							op = "<="
+						}
+					}
+				}
+			}
+			if okC && okV && c.Name == col {
+				switch op {
+				case "=":
+					setLo(lit)
+					setHi(lit)
+					full = true
+				case "<=":
+					setHi(lit)
+					full = true
+				case ">=":
+					setLo(lit)
+					full = true
+				case "<":
+					setHi(lit) // overshoots the boundary entry; keep residual
+				case ">":
+					setLo(lit)
+				}
+			}
+		}
+		if full {
+			captured = append(captured, cond)
+		} else {
+			rest = append(rest, cond)
+		}
+	}
+	// Strict bounds still narrow the range estimate.
+	for _, cond := range rest {
+		if b, ok := cond.(sql.BinNode); ok {
+			if c, ok := b.L.(sql.ColNode); ok && c.Name == col {
+				if _, okV := litValue(b.R); okV && (b.Op == "<" || b.Op == ">") {
+					captured = append(captured, cond)
+				}
+			}
+		}
+	}
+	return lo, hi, captured, rest
+}
+
+// chooseJoin joins the chain to relation r. SQLite's profile only has the
+// index nested loop; PostgreSQL and MySQL compare the predicted energy of a
+// hash join (build on the filtered inner scan) against the index nested
+// loop and take the cheaper — replacing the old fixed row-count threshold.
+func (pc *planCtx) chooseJoin(outer *Node, r *rel, resConds []sql.Node) (*Node, error) {
+	outerKey, err := outer.schema.ColIndex(r.outerCol)
+	if err != nil {
+		return nil, err
+	}
+	// Cardinality: prefer the empirical probe-sample estimate (it sees
+	// cross-table correlations and data skew the per-column statistics
+	// cannot); fall back to the distinct-count model without an index or
+	// sample.
+	fan, condSel, sampled := pc.sampleJoinEstimate(r, resConds)
+	var matches, preMatches float64
+	if sampled {
+		preMatches = outer.EstRows * fan
+		matches = preMatches * condSel
+	} else {
+		d := distinctOf(r.stats, r.t.Schema(), r.innerCol)
+		preMatches = outer.EstRows * float64(r.stats.RowCount) / d
+		matches = outer.EstRows * r.estRows / d
+		for range resConds {
+			matches *= residualSel
+		}
+	}
+	tree := r.t.Index(r.innerCol)
+
+	var indexNode *Node
+	if tree != nil {
+		// Index nested loop reads full inner rows, so the pushed inner
+		// conjuncts are evaluated per match together with the residuals.
+		schema := outer.schema.Concat(r.t.Schema())
+		all := append(append([]sql.Node{}, r.conds...), resConds...)
+		resid, err := compileConds(all, schema)
+		if err != nil {
+			return nil, err
+		}
+		indexNode = &Node{
+			Kind: opIndexJoin, Kids: []*Node{outer},
+			Table: r.t, TableName: r.name,
+			OuterKey: outerKey, OuterColName: r.outerCol, InnerColName: r.innerCol,
+			Filter: resid, FilterStr: renderConds(all),
+			schema:  schema,
+			EstRows: matches,
+		}
+		pc.costIndexJoin(indexNode, preMatches)
+	}
+	if pc.e.Kind == engine.SQLite && indexNode != nil {
+		return indexNode, nil
+	}
+
+	build, err := pc.chooseScan(r)
+	if err != nil {
+		return nil, err
+	}
+	innerKey, err := build.schema.ColIndex(r.innerCol)
+	if err != nil {
+		return nil, err
+	}
+	schema := outer.schema.Concat(build.schema)
+	resid, err := compileConds(resConds, schema)
+	if err != nil {
+		return nil, err
+	}
+	hashNode := &Node{
+		Kind: opHashJoin, Kids: []*Node{outer, build},
+		OuterKey: outerKey, InnerKey: innerKey,
+		OuterColName: r.outerCol, InnerColName: r.innerCol,
+		Filter: resid, FilterStr: renderConds(resConds),
+		schema:  schema,
+		EstRows: matches,
+	}
+	pc.costHashJoin(hashNode)
+
+	if indexNode != nil && indexNode.EstEJ < hashNode.EstEJ+build.EstEJ {
+		return indexNode, nil
+	}
+	return hashNode, nil
+}
+
+// node cost estimators ------------------------------------------------------
+
+func (pc *planCtx) costSeqScan(n *Node) {
+	var a est
+	rows := float64(n.Table.File.RowCount())
+	pc.c.scanHeap(&a, n.Table)
+	pc.c.tuple(&a, rows)
+	pc.c.eval(&a, rows, exprNodes(n.Filter))
+	pc.c.emit(&a, n.EstRows, float64(n.schema.RowWidth()))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costIndexScan(n *Node, entries float64) {
+	var a est
+	tree := n.Table.Index(n.IdxCol)
+	pc.c.btreeDescend(&a, 1, tree.Height(), tree.Order(), tree.Len())
+	pc.c.indexEntries(&a, entries, tree.Len())
+	pc.c.heapFetch(&a, entries, n.Table)
+	pc.c.tuple(&a, entries)
+	pc.c.eval(&a, entries, exprNodes(n.Filter))
+	pc.c.emit(&a, n.EstRows, float64(n.schema.RowWidth()))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costIndexJoin(n *Node, preMatches float64) {
+	var a est
+	outer := n.Kids[0].EstRows
+	tree := n.Table.Index(n.InnerColName)
+	pc.c.btreeDescend(&a, outer, tree.Height(), tree.Order(), tree.Len())
+	pc.c.indexEntries(&a, preMatches, tree.Len())
+	pc.c.heapFetch(&a, preMatches, n.Table)
+	pc.c.tuple(&a, preMatches)
+	pc.c.eval(&a, preMatches, exprNodes(n.Filter))
+	pc.c.emit(&a, n.EstRows, float64(len(n.schema.Columns)*8))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costHashJoin(n *Node) {
+	var a est
+	buildRows := n.Kids[1].EstRows
+	probeRows := n.Kids[0].EstRows
+	tableBytes := (buildRows + 1) * 32
+	// Build: hash (3 adds), bucket load, entry store per row.
+	a.add += 3 * buildRows
+	pc.c.randLoad(&a, buildRows, tableBytes)
+	a.reg2 += buildRows
+	// Probe: hash (2 adds) and bucket load per row.
+	a.add += 2 * probeRows
+	pc.c.randLoad(&a, probeRows, tableBytes)
+	// Matches: entry chase, tuple overhead, residual, output copy.
+	pc.c.randLoad(&a, n.EstRows, tableBytes)
+	pc.c.tuple(&a, n.EstRows)
+	pc.c.eval(&a, n.EstRows, exprNodes(n.Filter))
+	pc.c.emit(&a, n.EstRows, float64(len(n.schema.Columns)*8))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costFilter(n *Node) {
+	var a est
+	pc.c.eval(&a, n.Kids[0].EstRows, exprNodes(n.Filter))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costPrune(n *Node) {
+	var a est
+	rows := n.Kids[0].EstRows
+	a.add += rows * float64(len(n.Cols))
+	pc.c.emit(&a, rows, float64(n.schema.RowWidth()))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costProject(n *Node) {
+	var a est
+	rows := n.Kids[0].EstRows
+	pc.c.eval(&a, rows, exprNodes(n.Exprs...))
+	pc.c.emit(&a, rows, float64(len(n.Exprs)*8))
+	n.EstEJ = pc.c.price(a)
+}
+
+// groupTableBytes is the default hash-aggregation table footprint (the
+// executor's group cap times its entry size).
+const groupTableBytes = 32 << 10
+
+func (pc *planCtx) costAggregate(n *Node) {
+	var a est
+	in := n.Kids[0].EstRows
+	groups := n.EstRows
+	pc.c.tuple(&a, in)
+	pc.c.eval(&a, in, exprNodes(n.GroupExprs...)+n.aggArgNodes)
+	a.add += 2 * in
+	pc.c.randLoad(&a, 2*in, groupTableBytes)
+	a.add += in * float64(len(n.Aggs))
+	a.reg2 += in * float64(len(n.Aggs))
+	a.reg2 += groups
+	// Group output (16-byte string keys, 8-byte aggregates), then the
+	// select-list re-projection.
+	pc.c.emit(&a, groups, float64(16*len(n.GroupExprs)+8*len(n.Aggs)))
+	pc.c.eval(&a, groups, exprNodes(n.PostExprs...))
+	pc.c.emit(&a, groups, float64(len(n.PostExprs)*8))
+	n.EstEJ = pc.c.price(a)
+}
+
+func (pc *planCtx) costSort(n *Node) {
+	var a est
+	rows := n.Kids[0].EstRows
+	keyNodes := 0
+	for _, k := range n.SortKeys {
+		keyNodes += k.Expr.Nodes()
+	}
+	pc.c.eval(&a, rows, keyNodes)
+	a.reg2 += 2 * rows // collect and final placement stores
+	if rows > 1 {
+		compares := rows * math.Log2(rows)
+		pc.c.randLoad(&a, 2*compares, rows*16)
+		a.add += compares * float64(len(n.SortKeys))
+	}
+	a.l1d += rows // key-buffer read on emit
+	pc.c.emit(&a, rows, float64(n.schema.RowWidth()))
+	n.EstEJ = pc.c.price(a)
+}
+
+// chain assembly ------------------------------------------------------------
+
+// residualsAt collects the cross-relation conjuncts attached to join i.
+func (lp *logical) residualsAt(i int) []sql.Node {
+	var out []sql.Node
+	for _, r := range lp.residuals {
+		if r.pos == i {
+			out = append(out, r.cond)
+		}
+	}
+	return out
+}
+
+// outerKeep lists the outer-schema columns still needed at join position i:
+// everything referenced above the chain, by residuals at or after i, and by
+// the ON keys of joins at or after i.
+func (pc *planCtx) outerKeep(schema *catalog.Schema, i int) ([]int, bool) {
+	if pc.star {
+		return nil, false
+	}
+	need := map[string]bool{}
+	for c := range pc.topRefs {
+		need[c] = true
+	}
+	for _, r := range pc.lp.residuals {
+		if r.pos >= i {
+			colRefs(r.cond, need)
+		}
+	}
+	for j := i; j < len(pc.lp.rels); j++ {
+		need[pc.lp.rels[j].outerCol] = true
+		need[pc.lp.rels[j].innerCol] = true
+	}
+	var keep []int
+	for idx, c := range schema.Columns {
+		if need[c.Name] {
+			keep = append(keep, idx)
+		}
+	}
+	if len(keep) == 0 || len(keep) == len(schema.Columns) {
+		return nil, false
+	}
+	return keep, true
+}
+
+// maybePrune inserts a column-pruning node over child when the predicted
+// energy saved in the parent's per-match output copies exceeds the prune's
+// own per-row cost.
+func (pc *planCtx) maybePrune(child *Node, keep []int, parentRows float64, parentExtraCols int) *Node {
+	fullCols := len(child.schema.Columns)
+	linesFull := math.Ceil(float64((fullCols+parentExtraCols)*8) / 64)
+	linesKept := math.Ceil(float64((len(keep)+parentExtraCols)*8) / 64)
+	var benefit est
+	benefit.reg2 = parentRows * (linesFull - linesKept)
+	prune := &Node{
+		Kind: opPrune, Kids: []*Node{child},
+		Cols:    keep,
+		schema:  child.schema.Project(keep),
+		EstRows: child.EstRows,
+	}
+	pc.costPrune(prune)
+	if prune.EstEJ < pc.c.price(benefit) {
+		return prune
+	}
+	return child
+}
+
+// buildChain assembles the scan-join part of the plan, then applies any
+// conjuncts that never resolved (surfacing their resolution errors).
+func (pc *planCtx) buildChain() (*Node, error) {
+	node, err := pc.chooseScan(pc.lp.rels[0])
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(pc.lp.rels); i++ {
+		r := pc.lp.rels[i]
+		if keep, ok := pc.outerKeep(node.schema, i); ok {
+			innerCols := len(r.t.Schema().Columns)
+			node = pc.maybePrune(node, keep, node.EstRows, innerCols)
+		}
+		node, err = pc.chooseJoin(node, r, pc.lp.residualsAt(i))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(pc.lp.unplaced) > 0 {
+		pred, err := compileConds(pc.lp.unplaced, node.schema)
+		if err != nil {
+			return nil, err
+		}
+		f := &Node{
+			Kind: opFilter, Kids: []*Node{node},
+			Filter: pred, FilterStr: renderConds(pc.lp.unplaced),
+			schema:  node.schema,
+			EstRows: node.EstRows * defaultSel,
+		}
+		pc.costFilter(f)
+		node = f
+	}
+	return node, nil
+}
+
+// groupEstimate bounds the group count by the product of the key columns'
+// distinct counts (non-column keys contribute √input).
+func (pc *planCtx) groupEstimate(in float64) float64 {
+	if len(pc.stmt.GroupBy) == 0 {
+		return 1
+	}
+	prod := 1.0
+	for _, g := range pc.stmt.GroupBy {
+		d := math.Sqrt(math.Max(1, in))
+		if c, ok := g.(sql.ColNode); ok {
+			for _, r := range pc.lp.rels {
+				if _, err := r.t.Schema().ColIndex(c.Name); err == nil {
+					d = distinctOf(r.stats, r.t.Schema(), c.Name)
+					break
+				}
+			}
+		}
+		prod *= d
+	}
+	return math.Min(math.Max(1, in), prod)
+}
+
+// buildTop adds sort, projection/aggregation and limit above the chain,
+// mirroring SQL's resolution rules (pre-projection ORDER BY with alias
+// substitution for plain selects; post-projection for aggregates).
+func (pc *planCtx) buildTop(node *Node) (*Node, error) {
+	stmt := pc.stmt
+	agg := aggregated(stmt)
+
+	if !agg && len(stmt.OrderBy) > 0 {
+		// Prune to the sorted-and-projected columns first when it pays:
+		// Sort copies whole rows, so dropping wide unused columns saves
+		// a line per row per copy.
+		if keep, ok := pc.outerKeep(node.schema, len(pc.lp.rels)); ok {
+			node = pc.maybeSortPrune(node, keep)
+		}
+		aliasExprs := map[string]sql.Node{}
+		for _, it := range stmt.Items {
+			if it.As != "" && !it.Star {
+				aliasExprs[it.As] = it.Expr
+			}
+		}
+		keys := make([]exec.SortKey, 0, len(stmt.OrderBy))
+		names := make([]string, 0, len(stmt.OrderBy))
+		for _, k := range stmt.OrderBy {
+			nodeAST := k.Expr
+			if c, ok := nodeAST.(sql.ColNode); ok {
+				if repl, ok := aliasExprs[c.Name]; ok {
+					nodeAST = repl
+				}
+			}
+			expr, err := compile(nodeAST, node.schema)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: expr, Desc: k.Desc})
+			names = append(names, sortName(k))
+		}
+		s := &Node{
+			Kind: opSort, Kids: []*Node{node},
+			SortKeys: keys, SortNames: names,
+			schema:  node.schema,
+			EstRows: node.EstRows,
+		}
+		pc.costSort(s)
+		node = s
+	}
+
+	node, outNames, err := pc.projection(node)
+	if err != nil {
+		return nil, err
+	}
+
+	if agg && len(stmt.OrderBy) > 0 {
+		keys := make([]exec.SortKey, 0, len(stmt.OrderBy))
+		names := make([]string, 0, len(stmt.OrderBy))
+		for _, k := range stmt.OrderBy {
+			expr, err := compileWithAliases(k.Expr, node.schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: expr, Desc: k.Desc})
+			names = append(names, sortName(k))
+		}
+		s := &Node{
+			Kind: opSort, Kids: []*Node{node},
+			SortKeys: keys, SortNames: names,
+			schema:  node.schema,
+			EstRows: node.EstRows,
+		}
+		pc.costSort(s)
+		node = s
+	}
+	if stmt.Limit > 0 {
+		node = &Node{
+			Kind: opLimit, Kids: []*Node{node},
+			LimitN:  stmt.Limit,
+			schema:  node.schema,
+			EstRows: math.Min(float64(stmt.Limit), node.EstRows),
+		}
+	}
+	return node, nil
+}
+
+// maybeSortPrune inserts a prune below a sort when the saved row-copy width
+// beats the prune cost.
+func (pc *planCtx) maybeSortPrune(child *Node, keep []int) *Node {
+	pruned := child.schema.Project(keep)
+	fullLines := math.Ceil(float64(child.schema.RowWidth()) / 64)
+	keptLines := math.Ceil(float64(pruned.RowWidth()) / 64)
+	var benefit est
+	benefit.reg2 = child.EstRows * (fullLines - keptLines)
+	prune := &Node{
+		Kind: opPrune, Kids: []*Node{child},
+		Cols:    keep,
+		schema:  pruned,
+		EstRows: child.EstRows,
+	}
+	pc.costPrune(prune)
+	if prune.EstEJ < pc.c.price(benefit) {
+		return prune
+	}
+	return child
+}
+
+func sortName(k sql.OrderKey) string {
+	s := render(k.Expr)
+	if k.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
+// projection lowers the select list: pass-through for `SELECT *`, a Project
+// node for plain expressions, or an Aggregate node (hash aggregation plus
+// the select-order re-projection) when aggregates or GROUP BY appear.
+func (pc *planCtx) projection(node *Node) (*Node, map[string]int, error) {
+	stmt := pc.stmt
+	names := map[string]int{}
+	if !aggregated(stmt) {
+		if len(stmt.Items) == 1 && stmt.Items[0].Star {
+			return node, names, nil
+		}
+		exprs := make([]exec.Expr, 0, len(stmt.Items))
+		outNames := make([]string, 0, len(stmt.Items))
+		for i, it := range stmt.Items {
+			if it.Star {
+				return nil, nil, fmt.Errorf("plan: * cannot be mixed with expressions")
+			}
+			ex, err := compile(it.Expr, node.schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			exprs = append(exprs, ex)
+			name := it.As
+			if name == "" {
+				name = render(it.Expr)
+			}
+			outNames = append(outNames, name)
+			names[name] = i
+		}
+		p := &Node{
+			Kind: opProject, Kids: []*Node{node},
+			Exprs: exprs, Names: outNames,
+			schema:  projectSchema(outNames),
+			EstRows: node.EstRows,
+		}
+		pc.costProject(p)
+		return p, names, nil
+	}
+
+	// Aggregation: group keys are the GROUP BY expressions; every
+	// non-aggregate select item must match one of them.
+	groupExprs := make([]exec.Expr, 0, len(stmt.GroupBy))
+	groupKeys := make([]string, 0, len(stmt.GroupBy))
+	for _, g := range stmt.GroupBy {
+		ex, err := compile(g, node.schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupExprs = append(groupExprs, ex)
+		groupKeys = append(groupKeys, render(g))
+	}
+	var aggs []exec.AggSpec
+	argNodes := 0
+	type outCol struct {
+		name   string
+		grpIdx int
+		aggIdx int
+	}
+	var outs []outCol
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("plan: * cannot be used with GROUP BY")
+		}
+		name := it.As
+		if name == "" {
+			name = render(it.Expr)
+		}
+		if agg, ok := it.Expr.(sql.AggNode); ok {
+			var arg exec.Expr
+			if agg.Arg != nil {
+				var err error
+				arg, err = compile(agg.Arg, node.schema)
+				if err != nil {
+					return nil, nil, err
+				}
+				argNodes += arg.Nodes()
+			}
+			kind, err := aggKind(agg.Func)
+			if err != nil {
+				return nil, nil, err
+			}
+			aggs = append(aggs, exec.AggSpec{Kind: kind, Arg: arg, Name: name})
+			outs = append(outs, outCol{name: name, grpIdx: -1, aggIdx: len(aggs) - 1})
+			continue
+		}
+		key := render(it.Expr)
+		idx := -1
+		for i, gk := range groupKeys {
+			if gk == key {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("plan: %s must appear in GROUP BY or inside an aggregate", key)
+		}
+		outs = append(outs, outCol{name: name, grpIdx: idx, aggIdx: -1})
+	}
+	postExprs := make([]exec.Expr, 0, len(outs))
+	postNames := make([]string, 0, len(outs))
+	for i, oc := range outs {
+		var idx int
+		if oc.grpIdx >= 0 {
+			idx = oc.grpIdx
+		} else {
+			idx = len(groupExprs) + oc.aggIdx
+		}
+		postExprs = append(postExprs, exec.Col{Idx: idx, Name: oc.name})
+		postNames = append(postNames, oc.name)
+		names[oc.name] = i
+	}
+	a := &Node{
+		Kind: opAggregate, Kids: []*Node{node},
+		GroupExprs: groupExprs, GroupNames: groupKeys,
+		Aggs: aggs, aggArgNodes: argNodes,
+		PostExprs: postExprs, PostNames: postNames,
+		schema:  projectSchema(postNames),
+		EstRows: pc.groupEstimate(node.EstRows),
+	}
+	pc.costAggregate(a)
+	return a, names, nil
+}
+
+// projectSchema mirrors exec.Project's output schema: anonymous 8-byte
+// float slots with the output names.
+func projectSchema(names []string) *catalog.Schema {
+	cols := make([]catalog.Column, len(names))
+	for i, n := range names {
+		cols[i] = catalog.Column{Name: n, Type: value.TypeFloat, Width: 8}
+	}
+	return &catalog.Schema{Columns: cols}
+}

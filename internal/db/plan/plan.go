@@ -1,0 +1,160 @@
+// Package plan is the logical-plan optimizer: it rewrites a parsed SELECT
+// into a relational tree, applies rewrite rules (predicate pushdown through
+// joins, statistics-driven join reordering, column pruning), and picks
+// physical operators — sequential versus index scans, hash versus index
+// nested-loop joins — by predicted active energy rather than abstract cost
+// units.
+//
+// The cost model estimates each candidate operator's micro-operation counts
+// (the paper's N_m terms: L1D, Reg2L1D, L2, L3, mem, prefetch, stall) from
+// catalog statistics and cache geometry, then prices them with the same
+// calibrated ΔE_m table the measurement pipeline uses (Eq. 1). Plans are
+// therefore chosen, displayed (EXPLAIN) and verified (EXPLAIN ENERGY, which
+// meters each operator's counter delta during execution) in one energy
+// vocabulary.
+package plan
+
+import (
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/sql"
+	"energydb/internal/db/value"
+)
+
+// Prepared is an optimized statement: the chosen physical plan with every
+// decision recorded, bound to the engine view it was planned on. Build
+// re-instantiates the same executor tree each time — planning decisions are
+// never revisited, so a Prepared plan is stable across executions even as
+// buffer-pool residency shifts.
+type Prepared struct {
+	E    *engine.Engine
+	Stmt *sql.SelectStmt
+	Root *Node
+}
+
+// Prepare plans a parsed statement on the engine.
+func Prepare(e *engine.Engine, stmt *sql.SelectStmt) (*Prepared, error) {
+	lp, err := buildLogical(e, stmt)
+	if err != nil {
+		return nil, err
+	}
+	pc := newPlanCtx(e, stmt, lp)
+	chain, err := pc.buildChain()
+	if err != nil {
+		return nil, err
+	}
+	root, err := pc.buildTop(chain)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{E: e, Stmt: stmt, Root: root}, nil
+}
+
+// Names returns the output column names.
+func (p *Prepared) Names() []string { return p.Root.Schema().Names() }
+
+// Build instantiates the executor tree for one execution.
+func (p *Prepared) Build() (exec.Operator, error) {
+	op, err := p.instantiate(p.Root, nil, nil)
+	return op, err
+}
+
+// BuildMetered instantiates the executor tree with every operator wrapped in
+// a counter meter, for per-operator energy attribution. The returned map
+// locates each node's meter.
+func (p *Prepared) BuildMetered() (exec.Operator, map[*Node]*exec.Metered, error) {
+	ms := exec.NewMeterSet(p.E.Ctx)
+	meters := make(map[*Node]*exec.Metered)
+	op, err := p.instantiate(p.Root, ms, meters)
+	return op, meters, err
+}
+
+func (p *Prepared) instantiate(n *Node, ms *exec.MeterSet, meters map[*Node]*exec.Metered) (exec.Operator, error) {
+	e := p.E
+	kids := make([]exec.Operator, len(n.Kids))
+	var kidMeters []*exec.Metered
+	for i, k := range n.Kids {
+		op, err := p.instantiate(k, ms, meters)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = op
+		if ms != nil {
+			kidMeters = append(kidMeters, meters[k])
+		}
+	}
+	var op exec.Operator
+	switch n.Kind {
+	case opSeqScan:
+		op = e.Scan(n.Table, n.Filter)
+	case opIndexScan:
+		var err error
+		op, err = e.IndexRange(n.Table, n.IdxCol, n.Lo, n.Hi, n.Filter)
+		if err != nil {
+			return nil, err
+		}
+	case opIndexJoin:
+		op = &exec.IndexJoin{
+			Ctx: e.Ctx, Outer: kids[0], Inner: n.Table.File,
+			Index: n.Table.Index(n.InnerColName), OuterKey: n.OuterKey,
+			Residual: n.Filter,
+		}
+	case opHashJoin:
+		op = &exec.HashJoin{
+			Ctx: e.Ctx, Build: kids[1], Probe: kids[0],
+			BuildKey: []int{n.InnerKey}, ProbeKey: []int{n.OuterKey},
+			Residual: n.Filter,
+		}
+	case opFilter:
+		op = &exec.Filter{Ctx: e.Ctx, Child: kids[0], Pred: n.Filter}
+	case opPrune:
+		op = &exec.Prune{Ctx: e.Ctx, Child: kids[0], Cols: n.Cols}
+	case opProject:
+		op = &exec.Project{Ctx: e.Ctx, Child: kids[0], Exprs: n.Exprs, Names: n.Names}
+	case opAggregate:
+		g := e.GroupBy(kids[0], n.GroupExprs, n.Aggs)
+		op = &exec.Project{Ctx: e.Ctx, Child: g, Exprs: n.PostExprs, Names: n.PostNames}
+	case opSort:
+		op = e.Sort(kids[0], n.SortKeys)
+	case opLimit:
+		op = &exec.Limit{Child: kids[0], N: n.LimitN}
+	}
+	if ms != nil {
+		m := &exec.Metered{Set: ms, Child: op, Label: n.Title(), Kids: kidMeters}
+		meters[n] = m
+		return m, nil
+	}
+	return op, nil
+}
+
+// Plan optimizes and instantiates a statement in one step (the planning
+// entry point used by the server and shell).
+func Plan(e *engine.Engine, stmt *sql.SelectStmt) (exec.Operator, error) {
+	p, err := Prepare(e, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build()
+}
+
+// Run parses, plans and drains a query, returning the result rows and the
+// output column names.
+func Run(e *engine.Engine, query string) ([]value.Row, []string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := Prepare(e, stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	op, err := p.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, op.Schema().Names(), nil
+}

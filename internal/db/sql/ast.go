@@ -96,21 +96,21 @@ func (InNode) node()      {}
 func (BetweenNode) node() {}
 func (AggNode) node()     {}
 
-// hasAggregate reports whether the node tree contains an aggregate call.
-func hasAggregate(n Node) bool {
+// HasAggregate reports whether the node tree contains an aggregate call.
+func HasAggregate(n Node) bool {
 	switch v := n.(type) {
 	case AggNode:
 		return true
 	case BinNode:
-		return hasAggregate(v.L) || hasAggregate(v.R)
+		return HasAggregate(v.L) || HasAggregate(v.R)
 	case NotNode:
-		return hasAggregate(v.E)
+		return HasAggregate(v.E)
 	case LikeNode:
-		return hasAggregate(v.E)
+		return HasAggregate(v.E)
 	case InNode:
-		return hasAggregate(v.E)
+		return HasAggregate(v.E)
 	case BetweenNode:
-		return hasAggregate(v.E) || hasAggregate(v.Lo) || hasAggregate(v.Hi)
+		return HasAggregate(v.E) || HasAggregate(v.Lo) || HasAggregate(v.Hi)
 	default:
 		return false
 	}

@@ -33,7 +33,8 @@ var keywords = map[string]bool{
 	"ORDER": true, "LIMIT": true, "JOIN": true, "ON": true, "AS": true,
 	"AND": true, "OR": true, "NOT": true, "LIKE": true, "IN": true,
 	"BETWEEN": true, "ASC": true, "DESC": true, "SUM": true, "AVG": true,
-	"COUNT": true, "MIN": true, "MAX": true, "NULL": true,
+	"COUNT": true, "MIN": true, "MAX": true, "NULL": true, "EXPLAIN": true,
+	"ENERGY": true,
 }
 
 // lexer scans SQL text into tokens.

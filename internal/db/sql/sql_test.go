@@ -1,159 +1,6 @@
 package sql
 
-import (
-	"testing"
-
-	"energydb/internal/cpusim"
-	"energydb/internal/db/catalog"
-	"energydb/internal/db/engine"
-	"energydb/internal/db/value"
-)
-
-func testEngine(t *testing.T) *engine.Engine {
-	t.Helper()
-	m := cpusim.NewMachine(cpusim.IntelI7_4790())
-	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
-	items := e.CreateTable("items", catalog.NewSchema(
-		catalog.Column{Name: "id", Type: value.TypeInt},
-		catalog.Column{Name: "cat", Type: value.TypeInt},
-		catalog.Column{Name: "price", Type: value.TypeFloat},
-		catalog.Column{Name: "name", Type: value.TypeStr, Width: 16},
-	))
-	names := []string{"apple", "banana", "cherry", "avocado"}
-	for i := 0; i < 100; i++ {
-		e.Insert(items, value.Row{
-			value.Int(int64(i)),
-			value.Int(int64(i % 4)),
-			value.Float(float64(i) * 1.5),
-			value.Str(names[i%4]),
-		})
-	}
-	e.CreateIndex(items, "id")
-
-	cats := e.CreateTable("cats", catalog.NewSchema(
-		catalog.Column{Name: "cat_id", Type: value.TypeInt},
-		catalog.Column{Name: "cat_name", Type: value.TypeStr, Width: 16},
-	))
-	for i := 0; i < 4; i++ {
-		e.Insert(cats, value.Row{value.Int(int64(i)), value.Str([]string{"fruit", "veg", "dairy", "meat"}[i])})
-	}
-	e.CreateIndex(cats, "cat_id")
-	return e
-}
-
-func TestSelectStar(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, "SELECT * FROM items")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 100 {
-		t.Fatalf("rows = %d", len(rows))
-	}
-}
-
-func TestWherePushdown(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, "SELECT id FROM items WHERE price < 15 AND cat = 1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	// price < 15 -> id < 10; cat = 1 -> id % 4 == 1: ids 1, 5, 9.
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d, want 3", len(rows))
-	}
-}
-
-func TestProjectionArithmetic(t *testing.T) {
-	e := testEngine(t)
-	rows, names, err := Run(e, "SELECT id, price * 2 AS double_price FROM items WHERE id = 10")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 1 || rows[0][1].AsFloat() != 30 {
-		t.Fatalf("rows = %v", rows)
-	}
-	if names[1] != "double_price" {
-		t.Fatalf("names = %v", names)
-	}
-}
-
-func TestGroupByAggregates(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, `
-		SELECT cat, COUNT(*) AS n, SUM(price) AS total, MIN(id), MAX(id)
-		FROM items GROUP BY cat ORDER BY cat`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 4 {
-		t.Fatalf("groups = %d", len(rows))
-	}
-	if rows[0][1].AsInt() != 25 {
-		t.Fatalf("count = %v", rows[0][1])
-	}
-	if rows[1][3].AsInt() != 1 || rows[1][4].AsInt() != 97 {
-		t.Fatalf("min/max of cat 1 = %v/%v", rows[1][3], rows[1][4])
-	}
-}
-
-func TestScalarAggregate(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, "SELECT COUNT(*), AVG(price) FROM items WHERE cat = 0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 1 || rows[0][0].AsInt() != 25 {
-		t.Fatalf("rows = %v", rows)
-	}
-}
-
-func TestJoin(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, `
-		SELECT name, cat_name FROM items
-		JOIN cats ON cat = cat_id
-		WHERE id < 8 ORDER BY id`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 8 {
-		t.Fatalf("rows = %d", len(rows))
-	}
-	if rows[1][1].S != "veg" {
-		t.Fatalf("joined cat of id 1 = %v", rows[1][1])
-	}
-}
-
-func TestOrderByDescAndLimit(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, "SELECT id, price FROM items ORDER BY price DESC LIMIT 3")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 3 || rows[0][0].AsInt() != 99 {
-		t.Fatalf("rows = %v", rows)
-	}
-}
-
-func TestLikeInBetween(t *testing.T) {
-	e := testEngine(t)
-	rows, _, err := Run(e, "SELECT id FROM items WHERE name LIKE 'a%' AND id BETWEEN 0 AND 20")
-	if err != nil {
-		t.Fatal(err)
-	}
-	// apple (i%4==0) and avocado (i%4==3) in [0, 20]: 0,4,8,12,16,20 + 3,7,11,15,19 = 11.
-	if len(rows) != 11 {
-		t.Fatalf("rows = %d, want 11", len(rows))
-	}
-	rows, _, err = Run(e, "SELECT id FROM items WHERE cat IN (1, 2) LIMIT 5")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 5 {
-		t.Fatalf("rows = %d", len(rows))
-	}
-}
+import "testing"
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
@@ -174,53 +21,24 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestPlanErrors(t *testing.T) {
-	e := testEngine(t)
-	bad := []string{
-		"SELECT * FROM missing",
-		"SELECT nope FROM items",
-		"SELECT id FROM items JOIN cats ON wrong = cat_id",
-		"SELECT id, SUM(price) FROM items",               // id not grouped
-		"SELECT *, id FROM items",                        // star mixed
-		"SELECT MAX(price) FROM items WHERE SUM(id) > 0", // aggregate in WHERE
+func TestParseStatementExplain(t *testing.T) {
+	st, err := ParseStatement("EXPLAIN SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, q := range bad {
-		if _, _, err := Run(e, q); err == nil {
-			t.Errorf("Run(%q) should fail", q)
-		}
+	ex, ok := st.(*ExplainStmt)
+	if !ok || ex.Energy {
+		t.Fatalf("got %#v", st)
 	}
-}
-
-func TestResultsMatchAcrossEngines(t *testing.T) {
-	query := "SELECT cat, COUNT(*) AS n FROM items GROUP BY cat ORDER BY cat"
-	var want []value.Row
-	for i, kind := range engine.Kinds() {
-		m := cpusim.NewMachine(cpusim.IntelI7_4790())
-		e := engine.New(kind, m, engine.SettingBaseline)
-		items := e.CreateTable("items", catalog.NewSchema(
-			catalog.Column{Name: "id", Type: value.TypeInt},
-			catalog.Column{Name: "cat", Type: value.TypeInt},
-			catalog.Column{Name: "price", Type: value.TypeFloat},
-			catalog.Column{Name: "name", Type: value.TypeStr, Width: 16},
-		))
-		for j := 0; j < 60; j++ {
-			e.Insert(items, value.Row{value.Int(int64(j)), value.Int(int64(j % 3)), value.Float(1), value.Str("x")})
-		}
-		rows, _, err := Run(e, query)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if i == 0 {
-			want = rows
-			continue
-		}
-		if len(rows) != len(want) {
-			t.Fatalf("%v: %d rows, want %d", kind, len(rows), len(want))
-		}
-		for r := range rows {
-			if rows[r][1].AsInt() != want[r][1].AsInt() {
-				t.Fatalf("%v row %d differs", kind, r)
-			}
-		}
+	st, err = ParseStatement("EXPLAIN ENERGY SELECT id FROM t WHERE id < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok = st.(*ExplainStmt)
+	if !ok || !ex.Energy {
+		t.Fatalf("got %#v", st)
+	}
+	if _, err := ParseStatement("EXPLAIN"); err == nil {
+		t.Fatal("bare EXPLAIN should fail")
 	}
 }

@@ -1,0 +1,44 @@
+package sql
+
+import "fmt"
+
+// Statement is any parsed top-level statement: *SelectStmt or *ExplainStmt.
+type Statement interface{ stmt() }
+
+func (*SelectStmt) stmt()  {}
+func (*ExplainStmt) stmt() {}
+
+// ExplainStmt is `EXPLAIN [ENERGY] <select>`. Plain EXPLAIN asks for the
+// optimizer's chosen plan with estimated cardinalities and predicted energy;
+// EXPLAIN ENERGY additionally executes the statement with per-operator
+// counter snapshots and reports each operator's measured Eactive breakdown.
+type ExplainStmt struct {
+	Energy bool
+	Select *SelectStmt
+}
+
+// ParseStatement parses one top-level statement: a SELECT, or an EXPLAIN /
+// EXPLAIN ENERGY wrapping one. Parse remains the SELECT-only entry point.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	explain := p.accept(tokKeyword, "EXPLAIN")
+	energy := false
+	if explain {
+		energy = p.accept(tokKeyword, "ENERGY")
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	if explain {
+		return &ExplainStmt{Energy: energy, Select: sel}, nil
+	}
+	return sel, nil
+}

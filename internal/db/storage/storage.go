@@ -317,6 +317,18 @@ func (d *TableData) row(id int) (value.Row, bool) {
 	return d.rows[id], true
 }
 
+// ForEachRaw visits every row under the read lock without simulating any
+// accesses. It is the ANALYZE path: statistics collection is bookkeeping on
+// the Go side, not part of any measured statement, so it must not advance
+// the PMU counters of whichever worker happens to run it.
+func (d *TableData) ForEachRaw(fn func(id int, row value.Row)) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i, r := range d.rows {
+		fn(i, r)
+	}
+}
+
 var nextFileID atomic.Int64
 
 // HeapFile stores fixed-width rows in slotted pages behind a buffer pool.
@@ -446,6 +458,19 @@ func (hf *HeapFile) ReadRow(id int, sequential bool) (value.Row, error) {
 
 // Machine exposes the device machine (operators issue compute through it).
 func (hf *HeapFile) Machine() *cpusim.Machine { return hf.dev.M }
+
+// ResidentPages reports how many of the file's pages are currently resident
+// in this view's buffer pool, and the total page count. No accesses are
+// simulated; the cost model uses this to predict buffer hit behaviour.
+func (hf *HeapFile) ResidentPages() (resident, total int) {
+	total = hf.PageCount()
+	for p := 0; p < total; p++ {
+		if hf.pool.Contains(PageID{hf.data.fileID, p}) {
+			resident++
+		}
+	}
+	return resident, total
+}
 
 // Scanner iterates a heap file in row order, fetching each page once and
 // streaming the rows off it — the sequential-scan access pattern whose L1D

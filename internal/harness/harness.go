@@ -104,6 +104,7 @@ func Experiments() []Experiment {
 		{"X3", "Extension: ITCM on top of the DTCM co-design (Section 5 suggestion)", RunExtensionITCM},
 		{"X4", "Extension: update-statement breakdown (the write path deferred in Section 2.3)", RunExtensionWrites},
 		{"X5", "Extension: customized-CPU architecture sweep via trace replay (Section 4.1 design space)", RunExtensionArchSweep},
+		{"X6", "Extension: energy-aware logical-plan optimizer accuracy (predicted vs measured E_active)", RunExtensionOptimizer},
 	}
 }
 

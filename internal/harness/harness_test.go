@@ -12,7 +12,7 @@ func quickOpts() Options {
 }
 
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5"}
+	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
@@ -207,6 +207,18 @@ func TestExtensionArchSweepQuick(t *testing.T) {
 	for _, s := range []string{"stock", "Arch 1", "-40% L1D energy"} {
 		if !strings.Contains(res.Text, s) {
 			t.Errorf("X5 missing %q:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestExtensionOptimizerQuick(t *testing.T) {
+	res, err := RunExtensionOptimizer(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Q1", "Q6", "prediction within", "avg L1D+Reg2L1D share by engine"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X6 missing %q:\n%s", s, res.Text)
 		}
 	}
 }

@@ -151,3 +151,35 @@ func (c Counters) Sub(base Counters) Counters {
 		UncountedL1DPf: c.UncountedL1DPf - base.UncountedL1DPf,
 	}
 }
+
+// Add returns c + o, for accumulating per-region deltas (per-operator energy
+// attribution sums boundary-snapshot deltas per plan node).
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Loads:          c.Loads + o.Loads,
+		L1DAccesses:    c.L1DAccesses + o.L1DAccesses,
+		L1DHits:        c.L1DHits + o.L1DHits,
+		L1DMisses:      c.L1DMisses + o.L1DMisses,
+		L2Accesses:     c.L2Accesses + o.L2Accesses,
+		L2Hits:         c.L2Hits + o.L2Hits,
+		L2Misses:       c.L2Misses + o.L2Misses,
+		L3Accesses:     c.L3Accesses + o.L3Accesses,
+		L3Hits:         c.L3Hits + o.L3Hits,
+		L3Misses:       c.L3Misses + o.L3Misses,
+		MemAccesses:    c.MemAccesses + o.MemAccesses,
+		PrefetchL2:     c.PrefetchL2 + o.PrefetchL2,
+		PrefetchL3:     c.PrefetchL3 + o.PrefetchL3,
+		Stores:         c.Stores + o.Stores,
+		StoreL1DHits:   c.StoreL1DHits + o.StoreL1DHits,
+		StoreL1DMisses: c.StoreL1DMisses + o.StoreL1DMisses,
+		TCMLoads:       c.TCMLoads + o.TCMLoads,
+		TCMStores:      c.TCMStores + o.TCMStores,
+		StallCycles:    c.StallCycles + o.StallCycles,
+		IssueSlots:     c.IssueSlots + o.IssueSlots,
+		AddOps:         c.AddOps + o.AddOps,
+		NopOps:         c.NopOps + o.NopOps,
+		OtherOps:       c.OtherOps + o.OtherOps,
+		PageCrossings:  c.PageCrossings + o.PageCrossings,
+		UncountedL1DPf: c.UncountedL1DPf + o.UncountedL1DPf,
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"energydb/internal/cpusim"
 	"energydb/internal/db/engine"
 	"energydb/internal/db/exec"
-	"energydb/internal/db/sql"
+	"energydb/internal/db/plan"
 	"energydb/internal/db/value"
 	"energydb/internal/mubench"
 	"energydb/internal/rapl"
@@ -105,7 +105,7 @@ func TestServerE2E(t *testing.T) {
 	wantQ1 := directTPCHRows(t, direct, 1)
 	wantQ6 := directTPCHRows(t, direct, 6)
 	const stmt = "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag"
-	wantSQL, _, err := sql.Run(direct, stmt)
+	wantSQL, _, err := plan.Run(direct, stmt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"energydb/internal/core"
 	"energydb/internal/db/engine"
 	"energydb/internal/db/exec"
+	dbplan "energydb/internal/db/plan"
 	"energydb/internal/db/sql"
 	"energydb/internal/db/value"
 	"energydb/internal/server/wire"
@@ -205,15 +206,19 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 			return "", nil, nil, b, submitErr
 		}
 	} else {
-		stmt, parseErr := sql.Parse(text)
+		stmt, parseErr := sql.ParseStatement(text)
 		if parseErr != nil {
 			return "", nil, nil, b, parseErr
 		}
+		if ex, ok := stmt.(*sql.ExplainStmt); ok {
+			return s.explain(ex)
+		}
+		sel := stmt.(*sql.SelectStmt)
 		if submitErr := s.submit(func() {
 			sh := s.eng.Shared()
 			sh.RLock()
 			defer sh.RUnlock()
-			plan, buildErr = sql.Plan(s.eng, stmt)
+			plan, buildErr = dbplan.Plan(s.eng, sel)
 		}); submitErr != nil {
 			return "", nil, nil, b, submitErr
 		}
@@ -257,6 +262,60 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 	}
 	if runErr != nil {
 		return "", nil, nil, b, runErr
+	}
+	return name, cols, rows, b, nil
+}
+
+// explain serves EXPLAIN and EXPLAIN ENERGY on the session's worker. Plain
+// EXPLAIN plans the statement and renders the optimizer's predictions without
+// executing it; EXPLAIN ENERGY additionally executes the plan with
+// per-operator counter metering and reports the measured attribution. The
+// EnergyReport carries the planning (EXPLAIN) or execution (EXPLAIN ENERGY)
+// breakdown, so explained statements land in the session ledger like any
+// other statement.
+func (s *session) explain(ex *sql.ExplainStmt) (name string, cols []string, rows []value.Row, b core.Breakdown, err error) {
+	name = "explain"
+	if ex.Energy {
+		name = "explain-energy"
+	}
+	var innerErr error
+	if submitErr := s.submit(func() {
+		sh := s.eng.Shared()
+		sh.RLock()
+		defer sh.RUnlock()
+		if !ex.Energy {
+			b = s.wk.prof.Profile(name, func() {
+				var p *dbplan.Prepared
+				if p, innerErr = dbplan.Prepare(s.eng, ex.Select); innerErr == nil {
+					rows, cols = p.Explain()
+				}
+			})
+			return
+		}
+		p, prepErr := dbplan.Prepare(s.eng, ex.Select)
+		if prepErr != nil {
+			innerErr = prepErr
+			return
+		}
+		cancel := new(atomic.Bool)
+		s.eng.Ctx.Cancel = cancel
+		var watchdog *time.Timer
+		if d := s.srv.cfg.StmtTimeout; d > 0 {
+			watchdog = time.AfterFunc(d, func() { cancel.Store(true) })
+		}
+		rows, cols, b, innerErr = p.ExplainEnergy(s.wk.prof)
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		s.eng.Ctx.Cancel = nil
+	}); submitErr != nil {
+		return "", nil, nil, b, submitErr
+	}
+	if errors.Is(innerErr, exec.ErrCanceled) {
+		return "", nil, nil, b, fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
+	}
+	if innerErr != nil {
+		return "", nil, nil, b, innerErr
 	}
 	return name, cols, rows, b, nil
 }

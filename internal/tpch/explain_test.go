@@ -1,0 +1,125 @@
+package tpch
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/plan"
+	"energydb/internal/db/sql"
+)
+
+var updateExplain = flag.Bool("update", false, "rewrite golden EXPLAIN files")
+
+// TestExplainGolden pins the optimizer's chosen plan for every TPC-H query
+// text on the deterministic 10MB dataset. A change to the statistics, the
+// cost model or the rewrite rules that alters any plan (or its cardinality
+// and energy predictions) trips this test; if the new plan is intentional,
+// regenerate with `go test ./internal/tpch -run ExplainGolden -update`.
+func TestExplainGolden(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	Setup(e, Size10MB)
+	for _, q := range SQLQueries() {
+		stmt, err := sql.Parse(q.Text)
+		if err != nil {
+			t.Fatalf("Q%d: parse: %v", q.ID, err)
+		}
+		p, err := plan.Prepare(e, stmt)
+		if err != nil {
+			t.Fatalf("Q%d: plan: %v", q.ID, err)
+		}
+		rows, _ := p.Explain()
+		var b strings.Builder
+		for _, r := range rows {
+			b.WriteString(r[0].S)
+			b.WriteByte('\n')
+		}
+		got := b.String()
+		path := filepath.Join("testdata", "explain", fmt.Sprintf("q%d.txt", q.ID))
+		if *updateExplain {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("Q%d: %v (run with -update to generate)", q.ID, err)
+		}
+		if got != string(want) {
+			t.Errorf("Q%d plan changed.\n--- want\n%s--- got\n%s", q.ID, want, got)
+		}
+	}
+}
+
+// TestSQLMatchesHandBuilt checks that for every query marked Exact, the
+// optimizer's plan for the SQL text returns the same number of rows as the
+// hand-built executor plan (row sets are compared order-insensitively where
+// the statement has no total ORDER BY).
+func TestSQLMatchesHandBuilt(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	Setup(e, Size10MB)
+	exact := 0
+	for _, q := range SQLQueries() {
+		if !q.Exact {
+			continue
+		}
+		exact++
+		hand, err := QueryByID(q.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := hand.Build(e)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		handRows, err := exec.Collect(op)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		got, _, err := plan.Run(e, q.Text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		if len(got) != len(handRows) {
+			t.Errorf("Q%d: SQL plan returned %d rows, hand-built %d", q.ID, len(got), len(handRows))
+		}
+		if want := goldenRowCounts10MB[q.ID]; len(got) != want {
+			t.Errorf("Q%d: SQL plan returned %d rows, golden %d", q.ID, len(got), want)
+		}
+	}
+	if exact < 9 {
+		t.Fatalf("only %d exact SQL queries, want at least 9", exact)
+	}
+}
+
+// TestApproximateSQLRuns checks every non-exact query text still parses,
+// plans and executes (their row counts intentionally differ from the
+// hand-built plans; see SQLQuery.Note).
+func TestApproximateSQLRuns(t *testing.T) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	Setup(e, Size10MB)
+	for _, q := range SQLQueries() {
+		if q.Exact {
+			continue
+		}
+		if q.Note == "" {
+			t.Errorf("Q%d: approximate query must document its difference", q.ID)
+		}
+		if _, _, err := plan.Run(e, q.Text); err != nil {
+			t.Errorf("Q%d: %v", q.ID, err)
+		}
+	}
+}
