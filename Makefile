@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench fuzz
+.PHONY: all build test vet staticcheck race check bench fuzz smoke
 
 all: build
 
@@ -32,6 +32,12 @@ race:
 	$(GO) test -race ./internal/server/... ./internal/db/...
 
 check: vet staticcheck test race
+
+# End-to-end observability smoke: boots energyd with -metrics-addr, runs
+# statements over the wire (incl. \stats), scrapes /metrics and greps the
+# core metric families with live values.
+smoke:
+	./scripts/smoke.sh
 
 # Scaling baseline for future PRs (see internal/server/bench_test.go).
 bench:

@@ -34,6 +34,7 @@ import (
 	"energydb/internal/db/sql"
 	"energydb/internal/db/value"
 	"energydb/internal/mubench"
+	"energydb/internal/obs"
 	"energydb/internal/rapl"
 	"energydb/internal/server/client"
 	"energydb/internal/server/wire"
@@ -76,7 +77,7 @@ func main() {
 	} else if err := sh.setupLocal(); err != nil {
 		fatal(err)
 	}
-	fmt.Println(`Ready. End statements with a newline; EXPLAIN [ENERGY] <select> shows the optimizer's plan (ENERGY: measured per-operator attribution); \tables lists tables; \connect <addr> goes remote; \quit exits.`)
+	fmt.Println(`Ready. End statements with a newline; EXPLAIN [ENERGY] <select> shows the optimizer's plan (ENERGY: measured per-operator attribution); \tables lists tables; \connect <addr> goes remote; \stats shows server observability (remote); \quit exits.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -145,6 +146,9 @@ func (sh *shell) dispatch(line string) bool {
 		return true
 	case line == `\tables`:
 		sh.tables()
+		return true
+	case line == `\stats`:
+		sh.stats()
 		return true
 	}
 	if sh.remote != nil {
@@ -306,6 +310,47 @@ func (sh *shell) localSQL(line string) {
 	}
 	sh.printRows(op.Schema().Names(), rows)
 	printBreakdown(b)
+}
+
+// stats fetches and renders the server's observability snapshot (STATS):
+// totals, the Eq. 1 component split, and the slow/hot query boards.
+func (sh *shell) stats() {
+	if sh.remote == nil {
+		fmt.Println("not connected: \\stats shows a remote energyd's observability snapshot (use \\connect host:port)")
+		return
+	}
+	s, err := sh.remote.Stats()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s\n%d workers, %d sessions, engines: %s\n",
+		s.Banner, s.Workers, s.Sessions, strings.Join(s.Engines, ", "))
+	fmt.Printf("totals: %d queries, Eactive=%.4gJ Ebusy=%.4gJ Ebackground=%.4gJ over %.4gs sim time, L1D share %.1f%%\n",
+		s.Queries, s.EActiveJ, s.EBusyJ, s.EBackgroundJ, s.Seconds, s.L1DShare*100)
+	fmt.Print("components:")
+	for _, c := range core.Components() {
+		fmt.Printf(" %s=%.4gJ", c, s.ComponentJoules[c.String()])
+	}
+	fmt.Println()
+	printBoard := func(title string, entries []obs.QueryLogEntry, metric func(obs.QueryLogEntry) string) {
+		if len(entries) == 0 {
+			return
+		}
+		fmt.Println(title)
+		for i, e := range entries {
+			fmt.Printf("  %d. [session %d] %s  %s (%d rows)\n", i+1, e.Session, metric(e), e.String(), e.Rows)
+			if e.Plan != "" {
+				fmt.Printf("     plan: %s\n", e.Plan)
+			}
+		}
+	}
+	printBoard("slowest (wall time):", s.Slowest, func(e obs.QueryLogEntry) string {
+		return fmt.Sprintf("%.3gms", e.WallSeconds*1e3)
+	})
+	printBoard("hottest (E_active):", s.Hottest, func(e obs.QueryLogEntry) string {
+		return fmt.Sprintf("%.4gJ", e.EActive)
+	})
 }
 
 func (sh *shell) printRows(names []string, rows []value.Row) {

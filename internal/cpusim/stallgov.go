@@ -19,6 +19,12 @@ type StallAwareGovernor struct {
 	// MidPState is used between the thresholds.
 	MidPState PState
 
+	// Transitions counts the P-state changes the governor has made — the
+	// figure energyd exports as its per-worker transition counter.
+	Transitions uint64
+	// Ticks counts Tick calls (windows observed).
+	Ticks uint64
+
 	lastStall  uint64
 	lastCycles uint64
 }
@@ -39,10 +45,17 @@ func NewStallAwareGovernor(m *Machine) *StallAwareGovernor {
 // It returns the chosen state and the observed stall fraction.
 func (g *StallAwareGovernor) Tick() (PState, float64) {
 	c := g.m.Hier.Counters()
-	stall := c.StallCycles - g.lastStall
-	cycles := c.Cycles() - g.lastCycles
+	// The cumulative counters go backwards when they are reset under the
+	// governor (Machine.Reset, Hierarchy.ResetCounters) or when the
+	// governor is re-attached across machines (e.g. after NewLike). Raw
+	// uint64 subtraction would underflow to ~2^64 and saturate the stall
+	// fraction at ~1, pinning the low P-state forever. Treat a backwards
+	// window as empty and resynchronize the baselines instead.
+	stall := monotonicDelta(c.StallCycles, g.lastStall)
+	cycles := monotonicDelta(c.Cycles(), g.lastCycles)
 	g.lastStall = c.StallCycles
 	g.lastCycles = c.Cycles()
+	g.Ticks++
 
 	frac := 0.0
 	if cycles > 0 {
@@ -61,6 +74,16 @@ func (g *StallAwareGovernor) Tick() (PState, float64) {
 	if target != g.m.PState() {
 		// SetPState cannot fail: target is within the profile range.
 		_ = g.m.SetPState(target)
+		g.Transitions++
 	}
 	return g.m.PState(), frac
+}
+
+// monotonicDelta returns cur - last, clamped to zero when the counter went
+// backwards.
+func monotonicDelta(cur, last uint64) uint64 {
+	if cur < last {
+		return 0
+	}
+	return cur - last
 }

@@ -116,6 +116,23 @@ func (p *Prepared) Explain() ([]value.Row, []string) {
 	return rows, ExplainColumns
 }
 
+// Summary renders the winning plan as one line — operators in execution
+// order, leaves first — for the slow-query log and metric labels, where the
+// multi-line EXPLAIN tree would not fit. E.g.
+// "SeqScan lineitem → Filter → HashAggregate → Sort [revenue]".
+func (p *Prepared) Summary() string {
+	var titles []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, k := range n.Kids {
+			walk(k)
+		}
+		titles = append(titles, n.Title())
+	}
+	walk(p.Root)
+	return strings.Join(titles, " → ")
+}
+
 // PredictedEJ sums the per-operator energy predictions.
 func (p *Prepared) PredictedEJ() float64 {
 	total := 0.0

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Add(2.5)
+	c.Inc()
+	c.Add(-4)         // dropped
+	c.Add(math.NaN()) // dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge = %g, want 6.5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation equal
+// to an upper bound lands in that bucket (le is inclusive), one just above
+// lands in the next, and out-of-range observations land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	cum, sum, count := h.snapshotBuckets()
+	// le=1: 0.5, 1 → 2; le=10: +1.0000001, 10 → 4; le=100: +99, 100 → 6; +Inf: +101, 1e9 → 8.
+	want := []uint64{2, 4, 6, 8}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+	if count != 8 {
+		t.Errorf("count = %d, want 8", count)
+	}
+	if math.Abs(sum-(0.5+1+1.0000001+10+99+100+101+1e9)) > 1e-6 {
+		t.Errorf("sum = %g", sum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if math.Abs(got[i]-want[i])/want[i] > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSameHandle checks lazy registration is idempotent: the same
+// (name, labels) resolves to the same cell, different labels to siblings.
+func TestSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("errs", "h", "class", "parse")
+	b := r.Counter("errs", "h", "class", "parse")
+	c := r.Counter("errs", "h", "class", "exec")
+	if a != b {
+		t.Fatal("same labels returned distinct counters")
+	}
+	if a == c {
+		t.Fatal("distinct labels share a counter")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatalf("values: b=%g c=%g", b.Value(), c.Value())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind clash")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+// TestConcurrentAddCollect hammers every metric kind from many goroutines
+// while snapshots and expositions run concurrently — the -race gate for the
+// registry.
+func TestConcurrentAddCollect(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "counter")
+	g := r.Gauge("g", "gauge")
+	h := r.Histogram("h", "hist", ExpBuckets(1e-3, 10, 5))
+	r.GaugeFunc("f", "derived", func() float64 { return c.Value() + g.Value() })
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Add(0.5)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%7) * 0.01)
+				// Lazy child resolution under contention.
+				r.Counter("lazy", "h", "w", string(rune('a'+w))).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*iters*0.5 {
+		t.Errorf("counter = %g, want %g", got, workers*iters*0.5)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// goldenRegistry builds the fixture shared by the exposition golden tests.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("energyd_statements_total", "Statements retired.", "status", "ok").Add(5)
+	r.Counter("energyd_statements_total", "Statements retired.", "status", "error").Add(2)
+	g := r.Gauge("energyd_sessions_active", "Connected sessions.")
+	g.Set(3)
+	r.GaugeFunc("energyd_l1d_share", "Live (E_L1D+E_Reg2L1D)/E_active.", func() float64 { return 0.48 })
+	h := r.Histogram("energyd_statement_joules", "Per-statement E_active (J).", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+	return r
+}
+
+// TestPrometheusGolden pins the text exposition byte-for-byte.
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP energyd_l1d_share Live (E_L1D+E_Reg2L1D)/E_active.
+# TYPE energyd_l1d_share gauge
+energyd_l1d_share 0.48
+# HELP energyd_sessions_active Connected sessions.
+# TYPE energyd_sessions_active gauge
+energyd_sessions_active 3
+# HELP energyd_statement_joules Per-statement E_active (J).
+# TYPE energyd_statement_joules histogram
+energyd_statement_joules_bucket{le="0.001"} 1
+energyd_statement_joules_bucket{le="0.1"} 2
+energyd_statement_joules_bucket{le="+Inf"} 3
+energyd_statement_joules_sum 7.0505
+energyd_statement_joules_count 3
+# HELP energyd_statements_total Statements retired.
+# TYPE energyd_statements_total counter
+energyd_statements_total{status="error"} 2
+energyd_statements_total{status="ok"} 5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotJSONGolden pins the STATS JSON shape.
+func TestSnapshotJSONGolden(t *testing.T) {
+	data, err := json.Marshal(goldenRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"families":[` +
+		`{"name":"energyd_l1d_share","help":"Live (E_L1D+E_Reg2L1D)/E_active.","kind":"gauge","metrics":[{"value":0.48}]},` +
+		`{"name":"energyd_sessions_active","help":"Connected sessions.","kind":"gauge","metrics":[{"value":3}]},` +
+		`{"name":"energyd_statement_joules","help":"Per-statement E_active (J).","kind":"histogram","metrics":[` +
+		`{"value":0,"buckets":[{"le":"0.001","count":1},{"le":"0.1","count":2},{"le":"+Inf","count":3}],"sum":7.0505,"count":3}]},` +
+		`{"name":"energyd_statements_total","help":"Statements retired.","kind":"counter","metrics":[` +
+		`{"labels":[{"name":"status","value":"error"}],"value":2},` +
+		`{"labels":[{"name":"status","value":"ok"}],"value":5}]}]}`
+	if string(data) != want {
+		t.Errorf("snapshot JSON mismatch:\n got: %s\nwant: %s", data, want)
+	}
+	// And it round-trips.
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Families) != 4 {
+		t.Fatalf("round trip lost families: %d", len(back.Families))
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h", "q", "say \"hi\"\nback\\slash").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{q="say \"hi\"\nback\\slash"} 1`) {
+		t.Errorf("bad escaping:\n%s", sb.String())
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "energyd_statements_total{status=\"ok\"} 5") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+}
+
+func TestQueryLogBoards(t *testing.T) {
+	q := NewQueryLog(4, 3)
+	for i, e := range []QueryLogEntry{
+		{Name: "a", WallSeconds: 0.5, EActive: 1},
+		{Name: "b", WallSeconds: 0.1, EActive: 9},
+		{Name: "c", WallSeconds: 0.9, EActive: 2},
+		{Name: "d", WallSeconds: 0.2, EActive: 3},
+		{Name: "e", WallSeconds: 0.7, EActive: 0.5},
+	} {
+		e.Session = uint64(i)
+		q.Record(e)
+	}
+	slow := q.Slowest()
+	if got := names(slow); got != "c,e,a" {
+		t.Errorf("slowest = %s, want c,e,a", got)
+	}
+	hot := q.Hottest()
+	if got := names(hot); got != "b,d,c" {
+		t.Errorf("hottest = %s, want b,d,c", got)
+	}
+	if q.SlowestWall() != 0.9 || q.HottestJoules() != 9 {
+		t.Errorf("extremes: wall=%g joules=%g", q.SlowestWall(), q.HottestJoules())
+	}
+	// Ring keeps only the last 4, newest first.
+	recent := q.Recent()
+	if got := names(recent); got != "e,d,c,b" {
+		t.Errorf("recent = %s, want e,d,c,b", got)
+	}
+	// Boards survive ring eviction: "b" left the ring—still hottest.
+	if q.Hottest()[0].Name != "b" {
+		t.Error("board entry evicted with the ring")
+	}
+}
+
+func TestQueryLogTruncatesText(t *testing.T) {
+	q := NewQueryLog(2, 2)
+	q.Record(QueryLogEntry{Name: "big", Text: strings.Repeat("x", MaxTextLen+50)})
+	got := q.Recent()[0].Text
+	if len(got) > MaxTextLen+len("…") {
+		t.Fatalf("text not truncated: %d bytes", len(got))
+	}
+	if !strings.HasSuffix(got, "…") {
+		t.Fatal("truncation marker missing")
+	}
+}
+
+func TestQueryLogConcurrent(t *testing.T) {
+	q := NewQueryLog(16, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q.Record(QueryLogEntry{Name: "q", WallSeconds: float64(i), EActive: float64(w)})
+				q.Slowest()
+				q.Hottest()
+				q.Recent()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := q.Slowest()[0].WallSeconds; got != 499 {
+		t.Fatalf("slowest wall = %g, want 499", got)
+	}
+}
+
+func names(es []QueryLogEntry) string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return strings.Join(out, ",")
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, one line per
+// series, histograms as cumulative le-labelled buckets plus _sum and _count.
+// Output order is deterministic: families by name, series by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, m := range f.Metrics {
+			if f.Kind != KindHistogram.String() {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					f.Name, renderLabels(m.Labels, "", ""), FormatValue(m.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, b := range m.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.Name, renderLabels(m.Labels, "le", b.LE), b.Count); err != nil {
+					return err
+				}
+			}
+			ls := renderLabels(m.Labels, "", "")
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				f.Name, ls, FormatValue(m.Sum), f.Name, ls, m.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels renders {k="v",...}, appending one extra pair when extraKey is
+// non-empty (the histogram le label). Returns "" for an empty label set.
+func renderLabels(ls []Label, extraKey, extraVal string) string {
+	if len(ls) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(ls) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// Handler serves the registry at any path (mount it at /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are client disconnects; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// QueryLogEntry is one retired statement in the slow/hot-query log.
+type QueryLogEntry struct {
+	// Session is the server-assigned session id that issued the statement.
+	Session uint64 `json:"session"`
+	// Seq is the log's own monotonic sequence number (admission order).
+	Seq uint64 `json:"seq"`
+	// Name is the statement label ("query", "tpch-q6", "explain-energy").
+	Name string `json:"name"`
+	// Text is the statement text, truncated to MaxTextLen.
+	Text string `json:"text"`
+	// Plan is the optimizer's winning plan, as a one-line summary.
+	Plan string `json:"plan,omitempty"`
+	// Rows is the result row count.
+	Rows uint64 `json:"rows"`
+	// WallSeconds is the host wall-clock execution time on the worker.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the simulated machine time the statement consumed.
+	SimSeconds float64 `json:"sim_seconds"`
+	// EActive is the statement's measured Active energy (J).
+	EActive float64 `json:"e_active_joules"`
+}
+
+// MaxTextLen bounds the statement text retained per entry.
+const MaxTextLen = 256
+
+// QueryLog is a bounded statement log: a ring buffer of the most recent
+// retirements plus two top-N boards — the slowest statements by wall time and
+// the hottest by E_active — each with the winning plan summary. Memory is
+// fixed (ring + 2N entries); Record is O(N) only when a statement makes a
+// board.
+type QueryLog struct {
+	mu      sync.Mutex
+	seq     uint64
+	ring    []QueryLogEntry // most recent, ring[cursor-1] newest
+	cursor  int
+	ringLen int             // entries filled, up to len(ring)
+	slow    []QueryLogEntry // descending WallSeconds, ≤ topN
+	hot     []QueryLogEntry // descending EActive, ≤ topN
+	topN    int
+}
+
+// NewQueryLog builds a log keeping the last ringSize statements and the top
+// topN on each board.
+func NewQueryLog(ringSize, topN int) *QueryLog {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	if topN < 1 {
+		topN = 1
+	}
+	return &QueryLog{ring: make([]QueryLogEntry, ringSize), topN: topN}
+}
+
+// Record admits one retired statement.
+func (q *QueryLog) Record(e QueryLogEntry) {
+	if len(e.Text) > MaxTextLen {
+		e.Text = e.Text[:MaxTextLen] + "…"
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	e.Seq = q.seq
+	q.ring[q.cursor] = e
+	q.cursor = (q.cursor + 1) % len(q.ring)
+	if q.ringLen < len(q.ring) {
+		q.ringLen++
+	}
+	q.slow = admit(q.slow, e, q.topN, func(a, b QueryLogEntry) bool { return a.WallSeconds > b.WallSeconds })
+	q.hot = admit(q.hot, e, q.topN, func(a, b QueryLogEntry) bool { return a.EActive > b.EActive })
+}
+
+// admit inserts e into the descending board if it ranks, keeping ≤ n entries.
+func admit(board []QueryLogEntry, e QueryLogEntry, n int, better func(a, b QueryLogEntry) bool) []QueryLogEntry {
+	if len(board) == n && !better(e, board[n-1]) {
+		return board
+	}
+	i := sort.Search(len(board), func(i int) bool { return !better(board[i], e) })
+	board = append(board, QueryLogEntry{})
+	copy(board[i+1:], board[i:])
+	board[i] = e
+	if len(board) > n {
+		board = board[:n]
+	}
+	return board
+}
+
+// Slowest returns the top-N statements by wall time, slowest first.
+func (q *QueryLog) Slowest() []QueryLogEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]QueryLogEntry(nil), q.slow...)
+}
+
+// Hottest returns the top-N statements by E_active, hottest first.
+func (q *QueryLog) Hottest() []QueryLogEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]QueryLogEntry(nil), q.hot...)
+}
+
+// Recent returns the retained ring of recent statements, newest first.
+func (q *QueryLog) Recent() []QueryLogEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QueryLogEntry, 0, q.ringLen)
+	for i := 1; i <= q.ringLen; i++ {
+		out = append(out, q.ring[(q.cursor-i+len(q.ring))%len(q.ring)])
+	}
+	return out
+}
+
+// SlowestWall returns the current worst wall time (0 when empty) — the value
+// behind the energyd_slowlog_slowest_seconds gauge.
+func (q *QueryLog) SlowestWall() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.slow) == 0 {
+		return 0
+	}
+	return q.slow[0].WallSeconds
+}
+
+// HottestJoules returns the current worst E_active (0 when empty).
+func (q *QueryLog) HottestJoules() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.hot) == 0 {
+		return 0
+	}
+	return q.hot[0].EActive
+}
+
+// String renders the boards for logs and the dbshell \stats view.
+func (e QueryLogEntry) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Name)
+	if e.Text != "" && e.Text != e.Name {
+		sb.WriteString(" ")
+		sb.WriteString(e.Text)
+	}
+	return sb.String()
+}

@@ -42,12 +42,21 @@ type Result struct {
 	Energy wire.EnergyReport
 }
 
-// Dial connects and completes the handshake.
+// Dial connects and completes the handshake. On any handshake failure the
+// TCP connection is closed before returning: a non-nil error never leaks a
+// socket, however the handshake went wrong (write failure, server Error
+// reply, garbage frame, EOF).
 func Dial(addr string, opts Options) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	ok := false
+	defer func() {
+		if !ok {
+			nc.Close()
+		}
+	}()
 	c := &Conn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
 	if err := c.send(&wire.Hello{
 		Version: wire.ProtocolVersion,
@@ -55,23 +64,20 @@ func Dial(addr string, opts Options) (*Conn, error) {
 		Setting: opts.Setting,
 		Class:   opts.Class,
 	}); err != nil {
-		nc.Close()
 		return nil, err
 	}
 	f, err := wire.Read(c.r)
 	if err != nil {
-		nc.Close()
 		return nil, err
 	}
 	switch f := f.(type) {
 	case *wire.HelloAck:
 		c.ack = *f
+		ok = true
 		return c, nil
 	case *wire.Error:
-		nc.Close()
 		return nil, fmt.Errorf("client: server rejected handshake: %s", f.Msg)
 	default:
-		nc.Close()
 		return nil, fmt.Errorf("client: unexpected %v frame in handshake", f.FrameType())
 	}
 }
@@ -106,6 +112,27 @@ func (c *Conn) Query(text string) (*Result, error) {
 		return nil, fmt.Errorf("client: expected EnergyReport, got %v", f.FrameType())
 	}
 	return &Result{Cols: rs.Cols, Rows: rs.Rows, Energy: *rep}, nil
+}
+
+// Stats requests the server's observability snapshot (the STATS command):
+// energy totals and Eq. 1 component split, the full metrics registry, and
+// the slow/hot query boards.
+func (c *Conn) Stats() (*wire.StatsSnapshot, error) {
+	if err := c.send(&wire.Stats{}); err != nil {
+		return nil, err
+	}
+	f, err := wire.Read(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch f := f.(type) {
+	case *wire.StatsReply:
+		return f.Snapshot()
+	case *wire.Error:
+		return nil, fmt.Errorf("client: stats failed: %s", f.Msg)
+	default:
+		return nil, fmt.Errorf("client: expected StatsReply, got %v", f.FrameType())
+	}
 }
 
 // Close sends Quit and closes the connection.

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"energydb/internal/server/wire"
+)
+
+// TestDialClosesConnOnHandshakeReject is the leak regression test for Dial:
+// when the server rejects the handshake, the client must close its TCP
+// connection before returning the error. The fake server accepts, reads the
+// Hello, replies with an Error frame, and then waits for EOF — which only
+// arrives if the client actually closed its side.
+func TestDialClosesConnOnHandshakeReject(t *testing.T) {
+	testDialClosesConn(t, func(c net.Conn) {
+		if _, err := wire.Read(c); err != nil {
+			t.Errorf("server read hello: %v", err)
+			return
+		}
+		if err := wire.Write(c, &wire.Error{Msg: "no such engine"}); err != nil {
+			t.Errorf("server write error: %v", err)
+		}
+	})
+}
+
+// TestDialClosesConnOnGarbageFrame covers the "unexpected frame" return
+// path: the server answers the handshake with a protocol-legal but
+// out-of-place frame.
+func TestDialClosesConnOnGarbageFrame(t *testing.T) {
+	testDialClosesConn(t, func(c net.Conn) {
+		if _, err := wire.Read(c); err != nil {
+			t.Errorf("server read hello: %v", err)
+			return
+		}
+		if err := wire.Write(c, &wire.Quit{}); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	})
+}
+
+// TestDialClosesConnOnImmediateClose covers the transport-error path: the
+// server accepts and slams the connection shut without answering.
+func TestDialClosesConnOnImmediateClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Close()
+	}()
+	conn, err := Dial(ln.Addr().String(), Options{})
+	if err == nil {
+		conn.Close()
+		t.Fatal("Dial succeeded against a slammed connection")
+	}
+	<-done
+}
+
+// testDialClosesConn runs one fake-server script and asserts the failed Dial
+// left no open socket: after the scripted reply, the server-side read must
+// see EOF (client closed) rather than time out (client leaked the conn).
+func testDialClosesConn(t *testing.T, script func(net.Conn)) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	sawEOF := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			sawEOF <- err
+			return
+		}
+		defer c.Close()
+		script(c)
+		// The client holds no reference to the conn after a failed Dial, so
+		// the only way this read returns is the client closing its side.
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var one [1]byte
+		_, err = c.Read(one[:])
+		sawEOF <- err
+	}()
+
+	conn, err := Dial(ln.Addr().String(), Options{Engine: "sqlite"})
+	if err == nil {
+		conn.Close()
+		t.Fatal("Dial succeeded; fake server should have failed the handshake")
+	}
+	err = <-sawEOF
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("server-side read after failed Dial: %v, want EOF (client leaked the connection?)", err)
+	}
+}

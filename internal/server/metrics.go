@@ -1,0 +1,150 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"energydb/internal/core"
+	"energydb/internal/obs"
+)
+
+// slowLogRing and slowLogTopN size the statement log: the last slowLogRing
+// retirements plus the top slowLogTopN statements by wall time and by
+// E_active. Memory is fixed regardless of load.
+const (
+	slowLogRing = 64
+	slowLogTopN = 10
+)
+
+// metrics is energyd's observability surface: one obs.Registry exposed both
+// as Prometheus text (/metrics) and inside STATS snapshots, plus the
+// slow/hot query log. Hot-path handles are resolved once here; only the
+// per-class error counters go through lazy registry lookup.
+//
+// Every per-statement observation happens on the worker goroutine inside the
+// statement's job (session.retire), so the counters are exactly as drained
+// as the ledgers: after pool.close() nothing is still in flight.
+type metrics struct {
+	reg  *obs.Registry
+	qlog *obs.QueryLog
+
+	connections *obs.Counter
+	inFlight    *obs.Gauge
+	stmtOK      *obs.Counter
+	stmtErr     *obs.Counter
+
+	wallHist   *obs.Histogram
+	simHist    *obs.Histogram
+	joulesHist *obs.Histogram
+	rowsHist   *obs.Histogram
+
+	activeJ     *obs.Counter
+	busyJ       *obs.Counter
+	backgroundJ *obs.Counter
+	simSeconds  *obs.Counter
+	component   [core.NumComponents]*obs.Counter
+}
+
+// newMetrics registers energyd's metric families against a fresh registry
+// and hands each worker its P-state gauge/transition counter. The GaugeFunc
+// closures read server state at scrape time; none of them acquires a lock
+// that could be held while touching the registry, so scrapes cannot
+// deadlock against the serving path.
+func newMetrics(s *Server) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{reg: r, qlog: obs.NewQueryLog(slowLogRing, slowLogTopN)}
+
+	m.connections = r.Counter("energyd_connections_total", "TCP connections accepted.")
+	r.GaugeFunc("energyd_sessions_active", "Sessions currently registered (including mid-handshake).", func() float64 {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	m.inFlight = r.Gauge("energyd_statements_in_flight", "Statements currently being served.")
+	m.stmtOK = r.Counter("energyd_statements_total", "Statements served, by outcome.", "status", "ok")
+	m.stmtErr = r.Counter("energyd_statements_total", "Statements served, by outcome.", "status", "error")
+
+	m.wallHist = r.Histogram("energyd_statement_wall_seconds",
+		"Host wall-clock time per statement on its worker.", obs.ExpBuckets(1e-6, 10, 9))
+	m.simHist = r.Histogram("energyd_statement_seconds",
+		"Simulated machine time per statement.", obs.ExpBuckets(1e-9, 10, 11))
+	m.joulesHist = r.Histogram("energyd_statement_joules",
+		"Per-statement Active energy E_active (J).", obs.ExpBuckets(1e-9, 10, 12))
+	m.rowsHist = r.Histogram("energyd_statement_rows",
+		"Result rows per statement.", obs.ExpBuckets(1, 10, 7))
+
+	m.activeJ = r.Counter("energyd_active_joules_total", "Cumulative Active energy attributed to statements (J).")
+	m.busyJ = r.Counter("energyd_busy_joules_total", "Cumulative Busy-CPU energy over statements (J).")
+	m.backgroundJ = r.Counter("energyd_background_joules_total", "Cumulative background energy over statements (J).")
+	m.simSeconds = r.Counter("energyd_sim_seconds_total", "Cumulative simulated execution time (s).")
+	for _, c := range core.Components() {
+		m.component[c] = r.Counter("energyd_energy_joules_total",
+			"Cumulative Eq. 1 component energy (J).", "component", c.String())
+	}
+	r.GaugeFunc("energyd_l1d_share", "Live (E_L1D+E_Reg2L1D)/E_active over all retired statements.", func() float64 {
+		return s.Totals().L1DShare()
+	})
+	r.GaugeFunc("energyd_engines", "Distinct (profile, setting, class) stores provisioned.", func() float64 {
+		return float64(s.Engines())
+	})
+	r.Gauge("energyd_workers", "Execution workers (simulated machines).").Set(float64(len(s.pool.workers)))
+	r.GaugeFunc("energyd_slowlog_slowest_seconds", "Worst statement wall time on the slow board.", m.qlog.SlowestWall)
+	r.GaugeFunc("energyd_slowlog_hottest_joules", "Worst statement E_active on the hot board.", m.qlog.HottestJoules)
+
+	for _, w := range s.pool.workers {
+		id := strconv.Itoa(w.id)
+		w.mPState = r.Gauge("energyd_worker_pstate", "Current P-state of the worker's machine.", "worker", id)
+		w.mPState.Set(float64(w.m.PState()))
+		w.mTransitions = r.Counter("energyd_pstate_transitions_total",
+			"P-state changes made by the worker's stall-aware governor.", "worker", id)
+	}
+	return m
+}
+
+// observeStatement books one successfully retired statement.
+func (m *metrics) observeStatement(b core.Breakdown, rows uint64, wallSeconds float64) {
+	m.stmtOK.Inc()
+	m.wallHist.Observe(wallSeconds)
+	m.simHist.Observe(b.Seconds)
+	m.joulesHist.Observe(b.EActive)
+	m.rowsHist.Observe(float64(rows))
+	m.activeJ.Add(b.EActive)
+	m.busyJ.Add(b.EBusy)
+	m.backgroundJ.Add(b.EBackground)
+	m.simSeconds.Add(b.Seconds)
+	for i, j := range b.Joules {
+		m.component[i].Add(j)
+	}
+}
+
+// statementError books a failed statement under its error class
+// (parse | plan | exec | timeout).
+func (m *metrics) statementError(class string) {
+	m.stmtErr.Inc()
+	m.errorClass(class)
+}
+
+// errorClass counts a failure that is not a served statement (protocol and
+// handshake errors use class "protocol").
+func (m *metrics) errorClass(class string) {
+	m.reg.Counter("energyd_errors_total", "Failures by class.", "class", class).Inc()
+}
+
+// ObsHandler returns the HTTP surface energyd mounts on -metrics-addr:
+// /metrics in Prometheus text format and a trivial /healthz.
+func (s *Server) ObsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(s.obs.reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Metrics exposes the registry (tests scrape it directly).
+func (s *Server) Metrics() *obs.Registry { return s.obs.reg }
+
+// QueryLog exposes the slow/hot statement log.
+func (s *Server) QueryLog() *obs.QueryLog { return s.obs.qlog }

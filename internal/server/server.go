@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,7 @@ import (
 	"energydb/internal/db/engine"
 	"energydb/internal/mubench"
 	"energydb/internal/rapl"
+	"energydb/internal/server/wire"
 	"energydb/internal/tpch"
 )
 
@@ -92,6 +94,12 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each response write (0 = no limit).
 	WriteTimeout time.Duration
+	// Governor attaches a stall-aware DVFS governor (cpusim, §5 policy) to
+	// every worker machine, ticked once per retired statement. Off by
+	// default: with it on, memory-bound statements run at a lowered
+	// P-state, so measured energies diverge from fixed-frequency
+	// single-process profiling.
+	Governor bool
 	// Logf, when set, receives one line per session event.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +111,7 @@ type Server struct {
 	m    *cpusim.Machine // calibration primary; also runs store loads
 	cal  *core.Calibration
 	pool *pool
+	obs  *metrics
 
 	// loadMu serializes store builds on the primary machine (TPC-H loads
 	// drive s.m, which tolerates only one goroutine at a time).
@@ -113,6 +122,10 @@ type Server struct {
 	sessions map[uint64]*session
 	stores   map[engineKey]*storeEntry
 	closed   bool
+	// retired accumulates the ledgers of departed sessions, so the session
+	// ledgers keep partitioning Server.Totals exactly across disconnects
+	// (see SessionTotals).
+	retired LedgerTotals
 
 	nextSID atomic.Uint64
 }
@@ -159,14 +172,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: calibration failed: %w", err)
 	}
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		m:        m,
 		cal:      cal,
-		pool:     newPool(cfg.Workers, m, cal, cfg.Seed, cfg.Noise),
+		pool:     newPool(cfg.Workers, m, cal, cfg.Seed, cfg.Noise, cfg.Governor),
 		sessions: make(map[uint64]*session),
 		stores:   make(map[engineKey]*storeEntry),
-	}, nil
+	}
+	srv.obs = newMetrics(srv)
+	return srv, nil
 }
 
 // Calibration exposes the solved energy model (tests compare server-side
@@ -192,6 +207,23 @@ func (s *Server) WorkerTotals() []LedgerTotals {
 	out := make([]LedgerTotals, len(s.pool.workers))
 	for i, w := range s.pool.workers {
 		out[i] = w.ledger.Totals()
+	}
+	return out
+}
+
+// SessionTotals returns the session-side sum: every live session's ledger
+// plus the retired accumulator of departed sessions. Once the workers are
+// drained (after Close) this equals Totals exactly — each statement's
+// breakdown lands in one session ledger and one worker ledger within the
+// same worker job, so neither side can be ahead of the other at rest. Both
+// reads happen under s.mu, the same lock dropSession holds while it merges
+// a departing session, so no ledger is ever counted twice or dropped.
+func (s *Server) SessionTotals() LedgerTotals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.retired
+	for _, sess := range s.sessions {
+		out.Merge(sess.ledger.Totals())
 	}
 	return out
 }
@@ -227,6 +259,7 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		s.obs.connections.Inc()
 		sess := &session{
 			id:   s.nextSID.Add(1),
 			srv:  s,
@@ -280,9 +313,17 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) dropSession(id uint64) {
+// dropSession retires a departing session: its ledger is folded into the
+// retired accumulator in the same critical section that removes it from the
+// registry, so SessionTotals observes each session exactly once. By the time
+// run's defers reach here the connection is closed and no statement job of
+// this session can still be queued, so the ledger is final.
+func (s *Server) dropSession(sess *session) {
 	s.mu.Lock()
-	delete(s.sessions, id)
+	if _, ok := s.sessions[sess.id]; ok {
+		delete(s.sessions, sess.id)
+		s.retired.Merge(sess.ledger.Totals())
+	}
 	s.mu.Unlock()
 }
 
@@ -320,6 +361,41 @@ func (s *Server) Engines() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.stores)
+}
+
+// Stats assembles the observability snapshot the STATS command returns:
+// ledger totals with the Eq. 1 component split, the live metrics registry,
+// and the slow/hot query boards.
+func (s *Server) Stats() *wire.StatsSnapshot {
+	t := s.Totals()
+	comp := make(map[string]float64, core.NumComponents)
+	for _, c := range core.Components() {
+		comp[c.String()] = t.Joules[c]
+	}
+	s.mu.Lock()
+	nSessions := len(s.sessions)
+	engines := make([]string, 0, len(s.stores))
+	for k := range s.stores {
+		engines = append(engines, fmt.Sprintf("%s/%s/%s", k.kind, k.setting, k.class))
+	}
+	s.mu.Unlock()
+	sort.Strings(engines)
+	return &wire.StatsSnapshot{
+		Banner:          Banner,
+		Workers:         len(s.pool.workers),
+		Sessions:        nSessions,
+		Engines:         engines,
+		Queries:         t.Queries,
+		EActiveJ:        t.EActive,
+		EBusyJ:          t.EBusy,
+		EBackgroundJ:    t.EBackground,
+		Seconds:         t.Seconds,
+		L1DShare:        t.L1DShare(),
+		ComponentJoules: comp,
+		Metrics:         s.obs.reg.Snapshot(),
+		Slowest:         s.obs.qlog.Slowest(),
+		Hottest:         s.obs.qlog.Hottest(),
+	}
 }
 
 // ParseKind resolves an engine profile name ("postgresql", "pg",

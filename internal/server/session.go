@@ -15,6 +15,7 @@ import (
 	dbplan "energydb/internal/db/plan"
 	"energydb/internal/db/sql"
 	"energydb/internal/db/value"
+	"energydb/internal/obs"
 	"energydb/internal/server/wire"
 	"energydb/internal/tpch"
 )
@@ -48,12 +49,13 @@ func (s *session) armRead() {
 }
 
 func (s *session) run() {
-	defer s.srv.dropSession(s.id)
+	defer s.srv.dropSession(s)
 	defer s.conn.Close()
 	r := bufio.NewReader(s.conn)
 	s.w = bufio.NewWriter(s.conn)
 
 	if err := s.handshake(r); err != nil {
+		s.srv.obs.errorClass("protocol")
 		s.srv.cfg.Logf("session %d: handshake: %v", s.id, err)
 		return
 	}
@@ -76,7 +78,20 @@ func (s *session) run() {
 				s.srv.cfg.Logf("session %d: write: %v", s.id, err)
 				return
 			}
+		case *wire.Stats:
+			reply, rerr := s.srv.Stats().Reply()
+			if rerr != nil {
+				if err := s.send(&wire.Error{Msg: "stats: " + rerr.Error()}); err != nil {
+					return
+				}
+				break
+			}
+			if err := s.send(reply); err != nil {
+				s.srv.cfg.Logf("session %d: write: %v", s.id, err)
+				return
+			}
 		default:
+			s.srv.obs.errorClass("protocol")
 			s.send(&wire.Error{Msg: fmt.Sprintf("unexpected %v frame", f.FrameType())})
 			return
 		}
@@ -141,13 +156,19 @@ func (s *session) handshake(r *bufio.Reader) error {
 // with ResultSet + EnergyReport (or Error). Statement failures — including
 // statement timeouts — keep the session open; only transport failures
 // propagate.
+//
+// Successful statements are fully retired (ledgers, metrics, query log,
+// governor tick) inside the worker job by session.retire, before execute
+// returns — so a concurrent Server.Close, which drains the workers, can
+// never observe a statement that ran but is not yet accounted.
 func (s *session) serveQuery(text string) error {
-	name, cols, rows, b, err := s.execute(text)
+	s.srv.obs.inFlight.Add(1)
+	defer s.srv.obs.inFlight.Add(-1)
+	name, cols, rows, b, class, err := s.execute(text)
 	if err != nil {
+		s.srv.obs.statementError(class)
 		return s.send(&wire.Error{Msg: err.Error()})
 	}
-	s.ledger.Add(b)
-	s.wk.ledger.Add(b)
 	t := s.ledger.Totals()
 	rep := &wire.EnergyReport{
 		Name:        name,
@@ -175,26 +196,53 @@ func (s *session) serveQuery(text string) error {
 	return s.send(rep)
 }
 
+// retire books one successfully executed statement: the ledger adds, the
+// metric observations, the query-log entry and the optional governor tick.
+// It MUST run on the worker goroutine as the tail of the statement's own
+// job: pool.close() waits for the running job to finish, so after Close
+// every executed statement is fully accounted — the ledger adds can no
+// longer race shutdown on the connection goroutine (the old bug), and the
+// session ledgers partition Server.Totals exactly at rest.
+func (s *session) retire(name, text, planSummary string, rows uint64, wallSeconds float64, b core.Breakdown) {
+	s.ledger.Add(b)
+	s.wk.ledger.Add(b)
+	s.srv.obs.observeStatement(b, rows, wallSeconds)
+	s.srv.obs.qlog.Record(obs.QueryLogEntry{
+		Session:     s.id,
+		Name:        name,
+		Text:        text,
+		Plan:        planSummary,
+		Rows:        rows,
+		WallSeconds: wallSeconds,
+		SimSeconds:  b.Seconds,
+		EActive:     b.EActive,
+	})
+	s.wk.tickGovernor()
+}
+
 // execute runs the statement as jobs on the session's worker, returning the
 // collected rows and the Eq. 1 breakdown of its measured Active energy.
 // Plan building and execution both hold the store's statement-scoped read
 // lock, so concurrent DDL/DML on other workers cannot shift data mid-query.
-func (s *session) execute(text string) (name string, cols []string, rows []value.Row, b core.Breakdown, err error) {
+// class labels failures for the error counters (parse | plan | exec |
+// timeout); it is meaningless when err is nil.
+func (s *session) execute(text string) (name string, cols []string, rows []value.Row, b core.Breakdown, class string, err error) {
 	text = strings.TrimSpace(text)
 	if text == "" {
-		return "", nil, nil, b, fmt.Errorf("empty statement")
+		return "", nil, nil, b, "parse", fmt.Errorf("empty statement")
 	}
 	var plan exec.Operator
 	var buildErr error
+	var planSummary string
 	name = "query"
 	if strings.HasPrefix(text, `\q`) {
 		var id int
 		if _, scanErr := fmt.Sscanf(text, `\q%d`, &id); scanErr != nil {
-			return "", nil, nil, b, fmt.Errorf(`bad TPC-H shorthand %q: use \q<N> with N in 1..22`, text)
+			return "", nil, nil, b, "parse", fmt.Errorf(`bad TPC-H shorthand %q: use \q<N> with N in 1..22`, text)
 		}
 		q, qErr := tpch.QueryByID(id)
 		if qErr != nil {
-			return "", nil, nil, b, qErr
+			return "", nil, nil, b, "parse", qErr
 		}
 		name = fmt.Sprintf("tpch-q%d", id)
 		if submitErr := s.submit(func() {
@@ -203,33 +251,38 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 			defer sh.RUnlock()
 			plan, buildErr = q.Build(s.eng)
 		}); submitErr != nil {
-			return "", nil, nil, b, submitErr
+			return "", nil, nil, b, "exec", submitErr
 		}
 	} else {
 		stmt, parseErr := sql.ParseStatement(text)
 		if parseErr != nil {
-			return "", nil, nil, b, parseErr
+			return "", nil, nil, b, "parse", parseErr
 		}
 		if ex, ok := stmt.(*sql.ExplainStmt); ok {
-			return s.explain(ex)
+			return s.explain(ex, text)
 		}
 		sel := stmt.(*sql.SelectStmt)
 		if submitErr := s.submit(func() {
 			sh := s.eng.Shared()
 			sh.RLock()
 			defer sh.RUnlock()
-			plan, buildErr = dbplan.Plan(s.eng, sel)
+			var p *dbplan.Prepared
+			if p, buildErr = dbplan.Prepare(s.eng, sel); buildErr == nil {
+				planSummary = p.Summary()
+				plan, buildErr = p.Build()
+			}
 		}); submitErr != nil {
-			return "", nil, nil, b, submitErr
+			return "", nil, nil, b, "exec", submitErr
 		}
 	}
 	if buildErr != nil {
-		return "", nil, nil, b, buildErr
+		return "", nil, nil, b, "plan", buildErr
 	}
 	cols = plan.Schema().Names()
 
 	var runErr error
 	if submitErr := s.submit(func() {
+		start := time.Now()
 		sh := s.eng.Shared()
 		sh.RLock()
 		defer sh.RUnlock()
@@ -254,16 +307,19 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 			watchdog.Stop()
 		}
 		s.eng.Ctx.Cancel = nil
+		if runErr == nil {
+			s.retire(name, text, planSummary, uint64(len(rows)), time.Since(start).Seconds(), b)
+		}
 	}); submitErr != nil {
-		return "", nil, nil, b, submitErr
+		return "", nil, nil, b, "exec", submitErr
 	}
 	if errors.Is(runErr, exec.ErrCanceled) {
-		return "", nil, nil, b, fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
+		return "", nil, nil, b, "timeout", fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
 	}
 	if runErr != nil {
-		return "", nil, nil, b, runErr
+		return "", nil, nil, b, "exec", runErr
 	}
-	return name, cols, rows, b, nil
+	return name, cols, rows, b, "", nil
 }
 
 // explain serves EXPLAIN and EXPLAIN ENERGY on the session's worker. Plain
@@ -273,23 +329,31 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 // EnergyReport carries the planning (EXPLAIN) or execution (EXPLAIN ENERGY)
 // breakdown, so explained statements land in the session ledger like any
 // other statement.
-func (s *session) explain(ex *sql.ExplainStmt) (name string, cols []string, rows []value.Row, b core.Breakdown, err error) {
+func (s *session) explain(ex *sql.ExplainStmt, text string) (name string, cols []string, rows []value.Row, b core.Breakdown, class string, err error) {
 	name = "explain"
 	if ex.Energy {
 		name = "explain-energy"
 	}
 	var innerErr error
+	planned := false // Prepare succeeded: later failures are execution errors
 	if submitErr := s.submit(func() {
+		start := time.Now()
 		sh := s.eng.Shared()
 		sh.RLock()
 		defer sh.RUnlock()
 		if !ex.Energy {
+			var summary string
 			b = s.wk.prof.Profile(name, func() {
 				var p *dbplan.Prepared
 				if p, innerErr = dbplan.Prepare(s.eng, ex.Select); innerErr == nil {
+					summary = p.Summary()
 					rows, cols = p.Explain()
 				}
 			})
+			if innerErr == nil {
+				planned = true
+				s.retire(name, text, summary, uint64(len(rows)), time.Since(start).Seconds(), b)
+			}
 			return
 		}
 		p, prepErr := dbplan.Prepare(s.eng, ex.Select)
@@ -297,6 +361,7 @@ func (s *session) explain(ex *sql.ExplainStmt) (name string, cols []string, rows
 			innerErr = prepErr
 			return
 		}
+		planned = true
 		cancel := new(atomic.Bool)
 		s.eng.Ctx.Cancel = cancel
 		var watchdog *time.Timer
@@ -308,16 +373,23 @@ func (s *session) explain(ex *sql.ExplainStmt) (name string, cols []string, rows
 			watchdog.Stop()
 		}
 		s.eng.Ctx.Cancel = nil
+		if innerErr == nil {
+			s.retire(name, text, p.Summary(), uint64(len(rows)), time.Since(start).Seconds(), b)
+		}
 	}); submitErr != nil {
-		return "", nil, nil, b, submitErr
+		return "", nil, nil, b, "exec", submitErr
 	}
 	if errors.Is(innerErr, exec.ErrCanceled) {
-		return "", nil, nil, b, fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
+		return "", nil, nil, b, "timeout", fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
 	}
 	if innerErr != nil {
-		return "", nil, nil, b, innerErr
+		class = "plan"
+		if planned {
+			class = "exec"
+		}
+		return "", nil, nil, b, class, innerErr
 	}
-	return name, cols, rows, b, nil
+	return name, cols, rows, b, "", nil
 }
 
 func (s *session) send(f wire.Frame) error {

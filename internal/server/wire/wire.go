@@ -21,6 +21,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -50,6 +51,8 @@ const (
 	TypeEnergyReport Type = 0x05 // server → client: per-query energy breakdown
 	TypeError        Type = 0x06 // server → client: statement or protocol error
 	TypeQuit         Type = 0x07 // client → server: orderly goodbye
+	TypeStats        Type = 0x08 // client → server: request a server stats snapshot
+	TypeStatsReply   Type = 0x09 // server → client: JSON stats snapshot
 )
 
 // String names the frame type.
@@ -69,6 +72,10 @@ func (t Type) String() string {
 		return "Error"
 	case TypeQuit:
 		return "Quit"
+	case TypeStats:
+		return "Stats"
+	case TypeStatsReply:
+		return "StatsReply"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", byte(t))
 	}
@@ -302,6 +309,40 @@ func (*Quit) FrameType() Type { return TypeQuit }
 func (*Quit) encode(*buf)       {}
 func (*Quit) decode(*buf) error { return nil }
 
+// Stats asks the server for an observability snapshot (the STATS command;
+// dbshell's \stats). The reply is a StatsReply carrying StatsSnapshot JSON —
+// the same registry the HTTP /metrics endpoint exposes, so remote clients do
+// not need a scrape port.
+type Stats struct{}
+
+// FrameType implements Frame.
+func (*Stats) FrameType() Type { return TypeStats }
+
+func (*Stats) encode(*buf)       {}
+func (*Stats) decode(*buf) error { return nil }
+
+// StatsReply answers a Stats request with a JSON-encoded StatsSnapshot. JSON
+// keeps the payload schema-evolvable (new metric families appear without a
+// protocol revision) while the frame stays length-prefixed and bounded.
+type StatsReply struct {
+	JSON string
+}
+
+// FrameType implements Frame.
+func (*StatsReply) FrameType() Type { return TypeStatsReply }
+
+func (s *StatsReply) encode(b *buf)       { b.putString(s.JSON) }
+func (s *StatsReply) decode(b *buf) error { var err error; s.JSON, err = b.getString(); return err }
+
+// Snapshot decodes the reply's payload.
+func (s *StatsReply) Snapshot() (*StatsSnapshot, error) {
+	var out StatsSnapshot
+	if err := json.Unmarshal([]byte(s.JSON), &out); err != nil {
+		return nil, fmt.Errorf("wire: bad StatsReply payload: %w", err)
+	}
+	return &out, nil
+}
+
 // Write frames and sends one message.
 func Write(w io.Writer, f Frame) error {
 	b := &buf{}
@@ -366,6 +407,10 @@ func Decode(data []byte) (Frame, error) {
 		f = &Error{}
 	case TypeQuit:
 		f = &Quit{}
+	case TypeStats:
+		f = &Stats{}
+	case TypeStatsReply:
+		f = &StatsReply{}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type 0x%02x", t)
 	}

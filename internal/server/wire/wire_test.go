@@ -36,6 +36,9 @@ func sampleFrames() []Frame {
 		},
 		&Error{Msg: "no table \"nope\""},
 		&Quit{},
+		&Stats{},
+		&StatsReply{},
+		&StatsReply{JSON: `{"banner":"energyd/1","queries":3}`},
 	}
 }
 
@@ -92,6 +95,44 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		if f, err := Decode(data); err == nil {
 			t.Errorf("%s: expected error, decoded %#v", name, f)
 		}
+	}
+}
+
+func TestStatsSnapshotRoundTrip(t *testing.T) {
+	snap := &StatsSnapshot{
+		Banner:          "energyd/1 test",
+		Workers:         4,
+		Sessions:        2,
+		Engines:         []string{"sqlite/baseline/10MB"},
+		Queries:         17,
+		EActiveJ:        1.25,
+		EBusyJ:          2.5,
+		EBackgroundJ:    0.75,
+		Seconds:         0.125,
+		L1DShare:        0.48,
+		ComponentJoules: map[string]float64{"E_L1D": 0.5, "E_other": 0.25},
+	}
+	reply, err := snap.Reply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Decode(Encode(reply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.(*StatsReply).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Errorf("stats snapshot mismatch:\n got %#v\nwant %#v", got, snap)
+	}
+}
+
+func TestStatsReplyRejectsBadJSON(t *testing.T) {
+	r := &StatsReply{JSON: "{nope"}
+	if _, err := r.Snapshot(); err == nil {
+		t.Fatal("expected error decoding malformed stats JSON")
 	}
 }
 

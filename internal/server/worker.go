@@ -6,6 +6,7 @@ import (
 	"energydb/internal/core"
 	"energydb/internal/cpusim"
 	"energydb/internal/db/engine"
+	"energydb/internal/obs"
 	"energydb/internal/rapl"
 )
 
@@ -32,6 +33,34 @@ type worker struct {
 	// ledgers partition the same sum (each breakdown is added to exactly
 	// one session ledger and exactly one worker ledger).
 	ledger Ledger
+
+	// gov is the optional per-worker stall-aware DVFS governor
+	// (Config.Governor). It reprograms this worker's machine, so like the
+	// machine it is touched only on the worker goroutine — ticked once per
+	// retired statement, treating the statement as the governor's window.
+	gov *cpusim.StallAwareGovernor
+
+	// mPState / mTransitions publish the governor's state to the metrics
+	// registry (set by newMetrics). Updated on the worker goroutine; the
+	// obs cells are themselves goroutine-safe for scrapes.
+	mPState      *obs.Gauge
+	mTransitions *obs.Counter
+}
+
+// tickGovernor runs the DVFS policy over the window since the last retired
+// statement and publishes the new P-state. Must run on the worker goroutine.
+func (w *worker) tickGovernor() {
+	if w.gov == nil {
+		return
+	}
+	before := w.gov.Transitions
+	p, _ := w.gov.Tick()
+	if w.mPState != nil {
+		w.mPState.Set(float64(p))
+	}
+	if w.mTransitions != nil {
+		w.mTransitions.Add(float64(w.gov.Transitions - before))
+	}
 }
 
 // engine returns this worker's view of a shared store, creating it on first
@@ -56,13 +85,14 @@ type pool struct {
 
 // newPool clones the calibrated primary machine n times. Each worker's
 // meter gets a distinct deterministic noise seed so concurrent measurements
-// do not share an error stream.
-func newPool(n int, primary *cpusim.Machine, cal *core.Calibration, seed int64, noise float64) *pool {
+// do not share an error stream. With governor set, each worker also gets a
+// stall-aware DVFS governor over its machine.
+func newPool(n int, primary *cpusim.Machine, cal *core.Calibration, seed int64, noise float64, governor bool) *pool {
 	p := &pool{workers: make([]*worker, n)}
 	for i := 0; i < n; i++ {
 		m := primary.NewLike()
 		meter := rapl.NewMeter(m, seed+int64(i)+1, noise)
-		p.workers[i] = &worker{
+		w := &worker{
 			id:      i,
 			sched:   newSched(),
 			m:       m,
@@ -70,6 +100,10 @@ func newPool(n int, primary *cpusim.Machine, cal *core.Calibration, seed int64, 
 			prof:    core.NewProfiler(m, meter, cal),
 			engines: make(map[engineKey]*engine.Engine),
 		}
+		if governor {
+			w.gov = cpusim.NewStallAwareGovernor(m)
+		}
+		p.workers[i] = w
 	}
 	return p
 }
