@@ -1,10 +1,10 @@
 # Build/verify entry points. `make check` is the gate for server-layer
-# changes: vet everything, run the full test suite, then re-run the
-# concurrency surface (server + db) under the race detector.
+# changes: vet everything, run energylint, run the full test suite, then
+# re-run everything under the race detector.
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench fuzz smoke
+.PHONY: all build test vet lint staticcheck vulncheck race check bench fuzz smoke
 
 all: build
 
@@ -17,6 +17,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# energylint: the project's own stdlib-only analyzer suite (see DESIGN.md
+# §10). The whole module is type-checked once and shared by all five
+# analyzers, so a full run stays in single-digit seconds.
+lint:
+	$(GO) run ./cmd/energylint ./...
+
 # Static analysis beyond vet. Skipped with a notice when the binary is not
 # installed (CI installs it; local runs stay dependency-free).
 staticcheck:
@@ -26,12 +32,24 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-# The race-detector pass covers the packages with real concurrency: the
-# server (sessions, scheduler, ledgers) and the engine layers it drives.
-race:
-	$(GO) test -race ./internal/server/... ./internal/db/...
+# Known-vulnerability scan. Skipped with a notice when the binary is not
+# installed, same policy as staticcheck (the module has zero dependencies,
+# so this effectively audits the Go standard library version).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
-check: vet staticcheck test race
+# The race-detector pass covers the whole module; no package is carved
+# out. -short skips only the single-goroutine simulation sweeps (harness
+# figures/tables, tpch goldens), which have nothing for the race detector
+# to observe but would dominate the instrumented wall clock.
+race:
+	$(GO) test -race -short ./...
+
+check: vet lint staticcheck test race
 
 # End-to-end observability smoke: boots energyd with -metrics-addr, runs
 # statements over the wire (incl. \stats), scrapes /metrics and greps the

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/value"
 )
 
 // TestCancelPreArmed checks a statement whose cancel flag is already set
@@ -77,5 +80,55 @@ func TestCancelLeavesEngineUsable(t *testing.T) {
 	}
 	if n != 200 {
 		t.Fatalf("post-cancel scan returned %d rows, want 200", n)
+	}
+}
+
+// rowSource is an Operator that yields pre-built rows without ever polling
+// cancellation, isolating the sort phase's own checkpoints in the test
+// below. (The production scans poll in Next via TupleCost, which would mask
+// a sort phase that cannot be canceled.)
+type rowSource struct {
+	schema *catalog.Schema
+	rows   []value.Row
+	pos    int
+}
+
+func (r *rowSource) Schema() *catalog.Schema { return r.schema }
+func (r *rowSource) Open() error             { r.pos = 0; return nil }
+func (r *rowSource) Close() error            { return nil }
+
+func (r *rowSource) Next() (value.Row, bool, error) {
+	if r.pos >= len(r.rows) {
+		return nil, false, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, true, nil
+}
+
+// TestCancelStopsSortPhase is a regression test: Sort.Open's key-extraction
+// loop and sort comparator used to run without any cancellation checkpoint,
+// so once the child was drained a statement timeout could not stop the
+// O(n log n) sort phase. With a child that never polls, cancellation can
+// only surface from the sort phase itself.
+func TestCancelStopsSortPhase(t *testing.T) {
+	f := newFixture(t, 1)
+	schema := catalog.NewSchema(catalog.Column{Name: "id", Type: value.TypeInt})
+	rows := make([]value.Row, 500)
+	for i := range rows {
+		rows[i] = value.Row{value.Int(int64(len(rows) - i))}
+	}
+	cancel := new(atomic.Bool)
+	cancel.Store(true)
+	f.ctx.Cancel = cancel
+	defer func() { f.ctx.Cancel = nil }()
+
+	s := &Sort{
+		Ctx:   f.ctx,
+		Child: &rowSource{schema: schema, rows: rows},
+		Keys:  []SortKey{{Expr: Col{Idx: 0}}},
+	}
+	if _, err := Drain(s); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Drain(Sort) under cancel: err = %v, want ErrCanceled", err)
 	}
 }

@@ -136,6 +136,23 @@ func (c *Ctx) TupleCost() {
 	}
 }
 
+// Poll is the charge-free cancellation checkpoint: it observes the cancel
+// flag (and yields, same as TupleCost) without touching the simulated
+// machine, so loops that already account their traffic another way — hash
+// builds, sort comparators, materialization copies — can still be timed
+// out without perturbing energy numbers.
+func (c *Ctx) Poll() {
+	if c.Cancel == nil {
+		return
+	}
+	if c.Cancel.Load() {
+		panic(canceledPanic{})
+	}
+	if c.tuples++; c.tuples%yieldEvery == 0 {
+		runtime.Gosched()
+	}
+}
+
 // EmitRow simulates copying an emitted tuple of the given width into an
 // output slot: one store per cache line.
 func (c *Ctx) EmitRow(width int) {

@@ -47,6 +47,7 @@ func (s *Sort) Open() error {
 	// Precompute key columns (engines sort on extracted keys).
 	s.keys = make([][]value.Value, len(rows))
 	for i, r := range rows {
+		s.Ctx.Poll()
 		ks := make([]value.Value, len(s.Keys))
 		for k, sk := range s.Keys {
 			ks[k] = sk.Expr.Eval(r)
@@ -63,6 +64,7 @@ func (s *Sort) Open() error {
 	s.base = s.Ctx.Arena.Alloc(n*16, memsim.PageSize)
 	h := s.Ctx.M.Hier
 	for i := range rows {
+		s.Ctx.Poll()
 		h.Store(s.base + uint64(i)*16)
 	}
 
@@ -72,7 +74,10 @@ func (s *Sort) Open() error {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		// Each comparison touches both entries (dependent: the sort
-		// network chases row pointers) and does key compares.
+		// network chases row pointers) and does key compares. The sort
+		// phase is O(n log n) comparisons with no tuple boundary, so it
+		// must poll here or a statement timeout cannot cancel it.
+		s.Ctx.Poll()
 		h.Load(s.base+uint64(idx[a])*16%((n)*16), true)
 		h.Load(s.base+uint64(idx[b])*16%((n)*16), true)
 		s.Ctx.Compute(len(s.Keys))

@@ -11,6 +11,18 @@ func quickOpts() Options {
 	return o
 }
 
+// skipIfShort skips a simulation sweep in -short mode. The harness runs
+// everything on one goroutine — there is nothing for the race detector to
+// observe — yet the sweeps dominate the wall clock of a -race pass, so
+// `make race` runs with -short and keeps full coverage of the concurrent
+// packages instead.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation sweep skipped in -short mode")
+	}
+}
+
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6"}
 	exps := Experiments()
@@ -31,6 +43,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 }
 
 func TestTable1Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunTable1(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +59,7 @@ func TestTable1Quick(t *testing.T) {
 }
 
 func TestTable2Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunTable2(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +70,7 @@ func TestTable2Quick(t *testing.T) {
 }
 
 func TestTable3Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunTable3(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -66,6 +81,7 @@ func TestTable3Quick(t *testing.T) {
 }
 
 func TestTable5Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunTable5(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +92,7 @@ func TestTable5Quick(t *testing.T) {
 }
 
 func TestFigure6Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure6(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +105,7 @@ func TestFigure6Quick(t *testing.T) {
 }
 
 func TestFigure7Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure7(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +116,7 @@ func TestFigure7Quick(t *testing.T) {
 }
 
 func TestFigure10Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure10(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +129,7 @@ func TestFigure10Quick(t *testing.T) {
 }
 
 func TestFigure13Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure13(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +140,7 @@ func TestFigure13Quick(t *testing.T) {
 }
 
 func TestFigure5Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure5(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -130,6 +151,7 @@ func TestFigure5Quick(t *testing.T) {
 }
 
 func TestFigure8Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure8(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +162,7 @@ func TestFigure8Quick(t *testing.T) {
 }
 
 func TestFigure9Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure9(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -152,6 +175,7 @@ func TestFigure9Quick(t *testing.T) {
 }
 
 func TestFigure11Quick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunFigure11(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +188,7 @@ func TestFigure11Quick(t *testing.T) {
 }
 
 func TestExtensionNoSQLQuick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunExtensionNoSQL(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -176,6 +201,7 @@ func TestExtensionNoSQLQuick(t *testing.T) {
 }
 
 func TestExtensionDVFSQuick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunExtensionDVFS(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -188,6 +214,7 @@ func TestExtensionDVFSQuick(t *testing.T) {
 }
 
 func TestExtensionWritesQuick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunExtensionWrites(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +227,7 @@ func TestExtensionWritesQuick(t *testing.T) {
 }
 
 func TestExtensionArchSweepQuick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunExtensionArchSweep(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -212,6 +240,7 @@ func TestExtensionArchSweepQuick(t *testing.T) {
 }
 
 func TestExtensionOptimizerQuick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunExtensionOptimizer(quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -224,6 +253,7 @@ func TestExtensionOptimizerQuick(t *testing.T) {
 }
 
 func TestExtensionITCMQuick(t *testing.T) {
+	skipIfShort(t)
 	res, err := RunExtensionITCM(quickOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCancelPoll enforces the executor's cooperative-cancellation
+// contract (internal/db/exec): statement timeouts only work if every loop
+// that touches an unbounded number of tuples polls the cancellation flag —
+// by charging Ctx.TupleCost, or via the charge-free Ctx.Poll checkpoint.
+// A loop that pulls from a child Operator inherits the child's polling; a
+// loop that drives a raw cursor (storage scanner, btree iterator), ranges
+// over a materialized row slice, or a comparator passed to sort.Slice /
+// sort.SliceStable / sort.Sort must poll itself. Sort.Open's key-extraction
+// loop and sort comparator were exactly this bug: a statement timeout could
+// not cancel the sort phase (fixed in this PR).
+//
+// The analyzer only runs in packages that reference the executor Ctx type
+// (one with a TupleCost method), so row rendering in the shell or wire
+// encoding — which have no machine to poll — are out of scope. Waive a
+// provably bounded loop with //lint:nopoll and a justification.
+var AnalyzerCancelPoll = &Analyzer{
+	Name:      "cancelpoll",
+	Doc:       "executor tuple loops must poll cancellation via TupleCost or Poll",
+	WaiverKey: "nopoll",
+	Run:       runCancelPoll,
+}
+
+func runCancelPoll(pass *Pass) {
+	if !pkgReferencesCtx(pass) {
+		return
+	}
+	operator := findOperatorInterface(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, fn := range funcScopes(file) {
+			scanCancelScope(pass, fn, operator)
+		}
+	}
+}
+
+// pkgReferencesCtx reports whether the package defines or uses a type
+// named Ctx that has a TupleCost method — the executor context.
+func pkgReferencesCtx(pass *Pass) bool {
+	seen := false
+	check := func(obj types.Object) {
+		if seen || obj == nil {
+			return
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.Name() != "Ctx" {
+			return
+		}
+		if hasMethod(tn.Type(), "TupleCost") {
+			seen = true
+		}
+	}
+	for _, obj := range pass.Pkg.Info.Defs {
+		check(obj)
+	}
+	for _, obj := range pass.Pkg.Info.Uses {
+		check(obj)
+	}
+	return seen
+}
+
+// hasMethod reports whether *T or T has a method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// findOperatorInterface locates the Volcano Operator interface: a type
+// named Operator declared in this package or any direct import.
+func findOperatorInterface(pass *Pass) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		obj := p.Scope().Lookup("Operator")
+		if obj == nil {
+			return nil
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil
+		}
+		return iface
+	}
+	if iface := lookup(pass.Pkg.Types); iface != nil {
+		return iface
+	}
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if iface := lookup(imp); iface != nil {
+			return iface
+		}
+	}
+	return nil
+}
+
+// scanCancelScope inspects one function body for unpolled tuple loops and
+// unpolled sort comparators.
+func scanCancelScope(pass *Pass, fn funcScope, operator *types.Interface) {
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			checkTupleLoop(pass, n, n.Body, nil, n.Cond, operator)
+		case *ast.RangeStmt:
+			checkTupleLoop(pass, n, n.Body, n.X, nil, operator)
+		case *ast.CallExpr:
+			checkSortComparator(pass, n)
+		}
+		return true
+	})
+}
+
+// checkTupleLoop classifies one loop and reports it when it iterates
+// tuples without polling and without delegating to a polling child.
+func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond ast.Expr, operator *types.Interface) {
+	polled, delegated, cursor := false, false, false
+	scan := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "TupleCost", "Poll":
+			polled = true
+		case "Next", "Valid":
+			recvT := pass.TypeOf(sel.X)
+			if recvT != nil && operator != nil && implementsOperator(recvT, operator) {
+				delegated = true
+			} else if recvT != nil {
+				cursor = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	if cond != nil {
+		ast.Inspect(cond, scan)
+	}
+	if polled || delegated {
+		return
+	}
+	if rangeX != nil && !cursor {
+		// A range loop counts as a tuple loop only when it walks a
+		// materialized row set ([]value.Row and friends).
+		if !rangeOverRows(pass, rangeX) {
+			return
+		}
+	}
+	if !cursor && rangeX == nil {
+		return
+	}
+	pass.Reportf(loop.Pos(),
+		"tuple loop never polls cancellation: call Ctx.TupleCost (charged) or Ctx.Poll (free) per tuple, or waive a bounded loop with //lint:nopoll")
+}
+
+// implementsOperator reports whether t (or *t) satisfies the Operator
+// interface.
+func implementsOperator(t types.Type, operator *types.Interface) bool {
+	if types.Implements(t, operator) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), operator)
+	}
+	return false
+}
+
+// rangeOverRows reports whether the ranged expression is a slice/array of
+// rows: the element type's name is Row, or it is a slice of a named slice
+// type ending in Row.
+func rangeOverRows(pass *Pass, x ast.Expr) bool {
+	t := pass.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	named := namedOf(elem)
+	return named != nil && named.Obj().Name() == "Row"
+}
+
+// checkSortComparator flags sort.Slice/SliceStable/Sort calls in executor
+// packages whose comparator never polls: sorting N tuples is O(N log N)
+// comparator calls, easily the longest uncancellable stretch in a query.
+func checkSortComparator(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgIdent, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Pkg.Info.Uses[pkgIdent]
+	if !ok {
+		return
+	}
+	pkgName, ok := obj.(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "sort" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Slice", "SliceStable", "Sort", "Stable":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		polled := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if s, ok := c.Fun.(*ast.SelectorExpr); ok {
+					if s.Sel.Name == "TupleCost" || s.Sel.Name == "Poll" {
+						polled = true
+					}
+				}
+			}
+			return true
+		})
+		if !polled {
+			pass.Reportf(call.Pos(),
+				"sort comparator never polls cancellation: a large sort cannot be timed out; call Ctx.Poll in the less func or waive with //lint:nopoll")
+		}
+	}
+}

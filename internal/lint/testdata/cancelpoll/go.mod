@@ -1,0 +1,3 @@
+module fixture.example/cancelpoll
+
+go 1.22

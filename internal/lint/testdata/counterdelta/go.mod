@@ -1,0 +1,3 @@
+module fixture.example/counterdelta
+
+go 1.22

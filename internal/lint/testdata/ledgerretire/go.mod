@@ -1,0 +1,3 @@
+module fixture.example/ledgerretire
+
+go 1.22

@@ -1,0 +1,65 @@
+// Package app exercises the lockorder analyzer: ordering inversions,
+// locks held across channel operations, and mutex value copies, next to
+// the accepted shapes of each.
+package app
+
+import (
+	"fixture.example/lockorder/btree"
+	"fixture.example/lockorder/engine"
+	"fixture.example/lockorder/storage"
+)
+
+type system struct {
+	store *engine.Store
+	rows  *storage.Rows
+	tree  *btree.Tree
+	work  chan int
+}
+
+// goodOrder follows the documented engine → storage → btree order.
+func (s *system) goodOrder() {
+	s.store.Mu.Lock()
+	defer s.store.Mu.Unlock()
+	s.rows.Mu.Lock()
+	defer s.rows.Mu.Unlock()
+	s.tree.Mu.Lock()
+	defer s.tree.Mu.Unlock()
+}
+
+// badOrder acquires the engine lock while already inside the btree layer.
+func (s *system) badOrder() {
+	s.tree.Mu.Lock()
+	s.store.Mu.Lock()
+	s.store.Mu.Unlock()
+	s.tree.Mu.Unlock()
+}
+
+// publishLocked blocks on a channel send while holding the row lock.
+func (s *system) publishLocked(v int) {
+	s.rows.Mu.Lock()
+	s.work <- v
+	s.rows.Mu.Unlock()
+}
+
+// publish releases before blocking: the accepted shape.
+func (s *system) publish(v int) {
+	s.rows.Mu.Lock()
+	s.rows.Mu.Unlock()
+	s.work <- v
+}
+
+// snapshot copies a lock-bearing value, silently forking its lock state.
+func snapshot(t *btree.Tree) btree.Tree {
+	cp := *t
+	return cp
+}
+
+// scanAll ranges over lock-bearing values, copying each element.
+func scanAll(trees []btree.Tree) int {
+	n := 0
+	for _, t := range trees {
+		_ = t
+		n++
+	}
+	return n
+}

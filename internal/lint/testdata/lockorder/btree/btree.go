@@ -1,0 +1,9 @@
+// Package btree is the fixture's bottom lock layer (level 2).
+package btree
+
+import "sync"
+
+// Tree owns the node lock.
+type Tree struct {
+	Mu sync.Mutex
+}

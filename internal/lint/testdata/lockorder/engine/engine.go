@@ -1,0 +1,9 @@
+// Package engine is the fixture's top lock layer (level 0).
+package engine
+
+import "sync"
+
+// Store owns the statement-scoped lock.
+type Store struct {
+	Mu sync.RWMutex
+}

@@ -1,0 +1,9 @@
+// Package storage is the fixture's middle lock layer (level 1).
+package storage
+
+import "sync"
+
+// Rows owns the row lock.
+type Rows struct {
+	Mu sync.Mutex
+}

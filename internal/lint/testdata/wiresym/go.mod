@@ -1,0 +1,3 @@
+module fixture.example/wiresym
+
+go 1.22

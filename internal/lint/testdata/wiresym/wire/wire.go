@@ -1,0 +1,76 @@
+// Package wire reproduces frame-symmetry breaks for the wiresym analyzer:
+// an enum constant with no Decode case, one with no String case, a frame
+// with an encoder but no decoder, and a fully symmetric frame that Decode
+// nevertheless never constructs.
+package wire
+
+// Type tags a frame on the wire.
+type Type byte
+
+// Frame types.
+const (
+	TypeHello Type = iota
+	TypeQuery
+	TypeResult
+	TypeGone
+)
+
+// Hello is fully symmetric and constructed in Decode: the clean shape.
+type Hello struct{}
+
+// FrameType implements the frame contract.
+func (Hello) FrameType() Type { return TypeHello }
+
+func (h *Hello) encode() []byte { return nil }
+
+func (h *Hello) decode(b []byte) error {
+	_ = b
+	return nil
+}
+
+// Query has an encoder but no decoder: the peer cannot read it.
+type Query struct{}
+
+// FrameType implements the frame contract.
+func (Query) FrameType() Type { return TypeQuery }
+
+func (q *Query) encode() []byte { return nil }
+
+// Result is symmetric but Decode never constructs it, so inbound Result
+// frames are rejected as unknown.
+type Result struct{}
+
+// FrameType implements the frame contract.
+func (Result) FrameType() Type { return TypeResult }
+
+func (r *Result) encode() []byte { return nil }
+
+func (r *Result) decode(b []byte) error {
+	_ = b
+	return nil
+}
+
+// Decode parses one frame. TypeResult and TypeGone have no case.
+func Decode(t Type, b []byte) (any, error) {
+	switch t {
+	case TypeHello:
+		h := &Hello{}
+		return h, h.decode(b)
+	case TypeQuery:
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// String names the frame type. TypeGone has no case.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeQuery:
+		return "query"
+	case TypeResult:
+		return "result"
+	}
+	return "?"
+}

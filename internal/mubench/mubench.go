@@ -255,7 +255,9 @@ func (r *Runner) Run(s Spec) Result {
 		bg = r.Background.Package + r.Background.DRAM
 	}
 
-	desired := delta.Instructions() - delta.OtherOps
+	// Same-snapshot identity, not a window delta: Instructions() sums
+	// AddOps+NopOps+OtherOps of this one delta, so it cannot be smaller.
+	desired := delta.Instructions() - delta.OtherOps //lint:monotonic
 	bli := 0.0
 	if n := delta.Instructions(); n > 0 {
 		bli = float64(desired) / float64(n) * 100

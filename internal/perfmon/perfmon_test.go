@@ -68,3 +68,33 @@ func TestEveryAdvertisedEventReadable(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaClampsAcrossCounterReset is a regression test: a Sample taken
+// before Hierarchy.ResetCounters used to make DeltaSince/Events wrap to
+// ~2^64 (raw uint64 subtraction on a now-smaller snapshot). The delta must
+// clamp at zero instead — the same fix shape as the stallgov.Tick underflow.
+func TestDeltaClampsAcrossCounterReset(t *testing.T) {
+	h := memsim.New(memsim.I7_4790())
+	h.Load(0x40, true)
+	h.Load(0x80, true)
+	h.Load(0xC0, true)
+	before := Take(h)
+
+	h.ResetCounters()
+	h.Load(0x40, true)
+	after := Take(h)
+
+	d := after.DeltaSince(before)
+	if d.Loads != 0 {
+		t.Fatalf("Loads delta across reset = %d, want 0 (clamped)", d.Loads)
+	}
+	if d.L1DAccesses != 0 {
+		t.Fatalf("L1DAccesses delta across reset = %d, want 0 (clamped)", d.L1DAccesses)
+	}
+	ev := after.Events(before, EvL1DAccesses, EvMemAccesses)
+	for e, v := range ev {
+		if v > 3 {
+			t.Fatalf("event %v across reset = %d, want small (not wrapped)", e, v)
+		}
+	}
+}
