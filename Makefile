@@ -57,17 +57,22 @@ check: vet lint staticcheck test race
 smoke:
 	./scripts/smoke.sh
 
-# Scaling baseline for future PRs (see internal/server/bench_test.go).
+# Scaling baselines for future PRs: end-to-end server throughput
+# (internal/server/bench_test.go -> BENCH_server.json) and the row-versus-
+# vector executor sweep (internal/db/vec/bench_test.go -> BENCH_vector.json).
 bench:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput -benchtime 2s ./internal/server/
+	$(GO) test -run xxx -bench BenchmarkVectorThroughput -benchtime 1s ./internal/db/vec/
 
 # Short fuzz pass over every fuzz target: the SQL parser (raw client text),
-# the planner pipeline (parse → optimize → build → execute), and both
-# wire-protocol surfaces. FUZZTIME is overridable for CI smoke runs.
+# the planner pipeline (parse → optimize → build → execute), the row-versus-
+# vector differential executor, and both wire-protocol surfaces. FUZZTIME is
+# overridable for CI smoke runs.
 FUZZTIME ?= 30s
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/db/sql/
 	$(GO) test -run xxx -fuzz FuzzPlan -fuzztime $(FUZZTIME) ./internal/db/plan/
+	$(GO) test -run xxx -fuzz FuzzVecExec -fuzztime $(FUZZTIME) ./internal/db/vec/
 	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/server/wire/
 	$(GO) test -run xxx -fuzz FuzzQueryRoundTrip -fuzztime $(FUZZTIME) ./internal/server/wire/

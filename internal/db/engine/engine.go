@@ -127,6 +127,10 @@ type Knobs struct {
 	WorkMemBytes int
 	// TupleOverhead is the per-row on-page header width.
 	TupleOverhead int
+	// DisableVectorExec forces the planner to keep every operator on the
+	// row-at-a-time path, ignoring the vectorized implementations (used by
+	// the X7 experiment to isolate the vectorization effect).
+	DisableVectorExec bool
 }
 
 // scale is the knob scale-down matching the dataset scale-down.

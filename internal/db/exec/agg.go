@@ -46,15 +46,18 @@ type AggSpec struct {
 	Name string
 }
 
-// aggState accumulates one aggregate for one group.
-type aggState struct {
+// AggAcc accumulates one aggregate for one group. It is exported so the
+// vectorized aggregation in internal/db/vec folds with exactly the same
+// arithmetic as the row-at-a-time GroupBy below.
+type AggAcc struct {
 	sum   float64
 	count int64
 	min   value.Value
 	max   value.Value
 }
 
-func (a *aggState) update(v value.Value) {
+// Update folds one input value into the accumulator.
+func (a *AggAcc) Update(v value.Value) {
 	a.count++
 	a.sum += v.AsFloat()
 	if a.min.IsNull() || value.Compare(v, a.min) < 0 {
@@ -65,7 +68,25 @@ func (a *aggState) update(v value.Value) {
 	}
 }
 
-func (a *aggState) result(k AggKind) value.Value {
+// UpdateKind folds one input value, maintaining only the state the given
+// aggregate kind reads back in Result. Sum/avg/count updates skip the two
+// order comparisons Update pays for min/max tracking — a per-tuple saving
+// shared by the row GroupBy and the vectorized Agg, so the two paths stay
+// bit-identical.
+func (a *AggAcc) UpdateKind(k AggKind, v value.Value) {
+	switch k {
+	case AggCount:
+		a.count++
+	case AggSum, AggAvg:
+		a.count++
+		a.sum += v.AsFloat()
+	default:
+		a.Update(v)
+	}
+}
+
+// Result finalizes the accumulator for the given aggregate kind.
+func (a *AggAcc) Result(k AggKind) value.Value {
 	switch k {
 	case AggSum:
 		return value.Float(a.sum)
@@ -139,7 +160,7 @@ func (g *GroupBy) Open() error {
 
 	type group struct {
 		keyVals []value.Value
-		states  []aggState
+		states  []AggAcc
 	}
 	groups := make(map[value.Key]*group)
 	var order []*group
@@ -175,7 +196,7 @@ func (g *GroupBy) Open() error {
 		h.Load(slot, true) // bucket probe
 		grp, found := groups[key]
 		if !found {
-			grp = &group{keyVals: keyVals, states: make([]aggState, len(g.Aggs))}
+			grp = &group{keyVals: keyVals, states: make([]AggAcc, len(g.Aggs))}
 			groups[key] = grp
 			order = append(order, grp)
 			h.Store(slot) // insert bucket entry
@@ -187,7 +208,7 @@ func (g *GroupBy) Open() error {
 			if a.Arg != nil {
 				v = a.Arg.Eval(row)
 			}
-			grp.states[i].update(v)
+			grp.states[i].UpdateKind(a.Kind, v)
 			g.Ctx.Compute(1)
 		}
 		h.Store(slot + hashBucketBytes)
@@ -198,7 +219,7 @@ func (g *GroupBy) Open() error {
 		out := make(value.Row, 0, len(grp.keyVals)+len(g.Aggs))
 		out = append(out, grp.keyVals...)
 		for k, a := range g.Aggs {
-			out = append(out, grp.states[k].result(a.Kind))
+			out = append(out, grp.states[k].Result(a.Kind))
 		}
 		g.groups[i] = out
 	}

@@ -153,6 +153,33 @@ func (c *Ctx) Poll() {
 	}
 }
 
+// pollStride is how many buffer elements pass between cancellation checks
+// in loops over already-materialized rows (sort key extraction, hash-table
+// builds, mem-table copies). Those loops charge their simulated traffic in
+// bulk, so a per-element Poll is pure atomic-load overhead on the real
+// machine; one check per stride keeps the flag read off the per-element
+// fast path while still bounding cancellation latency to a few hundred
+// elements.
+const pollStride = 256
+
+// PollEvery is Poll amortized across a loop over a materialized buffer: it
+// checks the cancel flag on element 0 and every pollStride-th element
+// after. The first-element check means a pre-armed cancel still aborts
+// before any work, and the stride divides yieldEvery so the scheduler
+// yield cadence stays at one Gosched per yieldEvery elements, same as the
+// per-tuple checkpoints.
+func (c *Ctx) PollEvery(i int) {
+	if i%pollStride != 0 || c.Cancel == nil {
+		return
+	}
+	if c.Cancel.Load() {
+		panic(canceledPanic{})
+	}
+	if c.tuples += pollStride; c.tuples%yieldEvery < pollStride {
+		runtime.Gosched()
+	}
+}
+
 // EmitRow simulates copying an emitted tuple of the given width into an
 // output slot: one store per cache line.
 func (c *Ctx) EmitRow(width int) {

@@ -94,12 +94,25 @@ func (b BinOp) Eval(row value.Row) value.Value {
 		}
 		return boolVal(Truthy(b.R.Eval(row)))
 	}
-	r := b.R.Eval(row)
-	switch b.Op {
+	return ApplyBin(b.Op, l, b.R.Eval(row))
+}
+
+// ApplyBin applies a binary operator to already-evaluated operands. It is
+// the single source of truth for operator semantics (Int-preserving
+// arithmetic, NULL on divide-by-zero, collating comparisons) shared by the
+// row interpreter above and the vectorized kernels, so the two paths cannot
+// drift. AND/OR here are non-short-circuit (both operands already
+// evaluated), which agrees with BinOp.Eval for pure operand expressions.
+func ApplyBin(op BinOpKind, l, r value.Value) value.Value {
+	switch op {
+	case OpAnd:
+		return boolVal(Truthy(l) && Truthy(r))
+	case OpOr:
+		return boolVal(Truthy(l) || Truthy(r))
 	case OpAdd, OpSub, OpMul, OpDiv:
 		lf, rf := l.AsFloat(), r.AsFloat()
 		var out float64
-		switch b.Op {
+		switch op {
 		case OpAdd:
 			out = lf + rf
 		case OpSub:
@@ -112,13 +125,13 @@ func (b BinOp) Eval(row value.Row) value.Value {
 			}
 			out = lf / rf
 		}
-		if l.T == value.TypeInt && r.T == value.TypeInt && b.Op != OpDiv {
+		if l.T == value.TypeInt && r.T == value.TypeInt && op != OpDiv {
 			return value.Int(int64(out))
 		}
 		return value.Float(out)
 	default:
 		c := value.Compare(l, r)
-		switch b.Op {
+		switch op {
 		case OpEq:
 			return boolVal(c == 0)
 		case OpNe:
@@ -163,17 +176,22 @@ type Like struct {
 
 // Eval implements Expr.
 func (l Like) Eval(row value.Row) value.Value {
-	s := l.E.Eval(row).S
-	p := l.Pattern
+	return boolVal(LikeMatch(l.E.Eval(row).S, l.Pattern))
+}
+
+// LikeMatch reports whether s matches an edge-%-wildcard LIKE pattern
+// (prefix%, %suffix, %contains%, or exact). Shared by the row interpreter
+// and the vectorized kernels.
+func LikeMatch(s, p string) bool {
 	switch {
 	case strings.HasPrefix(p, "%") && strings.HasSuffix(p, "%"):
-		return boolVal(strings.Contains(s, strings.Trim(p, "%")))
+		return strings.Contains(s, strings.Trim(p, "%"))
 	case strings.HasPrefix(p, "%"):
-		return boolVal(strings.HasSuffix(s, strings.TrimPrefix(p, "%")))
+		return strings.HasSuffix(s, strings.TrimPrefix(p, "%"))
 	case strings.HasSuffix(p, "%"):
-		return boolVal(strings.HasPrefix(s, strings.TrimSuffix(p, "%")))
+		return strings.HasPrefix(s, strings.TrimSuffix(p, "%"))
 	default:
-		return boolVal(s == p)
+		return s == p
 	}
 }
 

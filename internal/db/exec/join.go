@@ -55,7 +55,7 @@ func (j *HashJoin) Open() error {
 	j.tableBase = j.Ctx.Arena.Alloc(j.tableSize, memsim.PageSize)
 	h := j.Ctx.M.Hier
 	for i, r := range rows {
-		j.Ctx.Poll()
+		j.Ctx.PollEvery(i)
 		key := joinKey(r, j.BuildKey)
 		j.table[key] = append(j.table[key], r)
 		// Hash, bucket write, entry write.

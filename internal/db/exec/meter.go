@@ -7,20 +7,24 @@ import (
 )
 
 // MeterSet coordinates per-operator counter attribution across one plan
-// tree. Every Metered boundary crossing (Open/Next/Close entering or
-// leaving an operator) snapshots the machine's PMU counters; the delta
-// since the previous boundary is credited to whichever operator was
-// running. Because counters are cumulative and every simulated access
-// lands between two boundaries, the per-operator exclusive counters sum
-// exactly to the whole statement's counter delta — the property the
-// EXPLAIN ENERGY attribution relies on to make per-operator energies sum
-// to the statement ledger total.
+// tree. Every meter boundary crossing (Open/Next/Close entering or leaving
+// an operator) snapshots the machine's PMU counters; the delta since the
+// previous boundary is credited to whichever operator was running. Because
+// counters are cumulative and every simulated access lands between two
+// boundaries, the per-operator exclusive counters sum exactly to the whole
+// statement's counter delta — the property the EXPLAIN ENERGY attribution
+// relies on to make per-operator energies sum to the statement ledger total.
 //
-// A MeterSet (and the Metered tree built over it) is single-use and
+// The attribution cell (Meter) is split from the row-operator wrapper
+// (Metered) so batch-at-a-time operators in other packages can meter their
+// boundaries on the same set: one MeterSet can interleave row and vector
+// operators in a single plan and the partition property still holds.
+//
+// A MeterSet (and the Meter tree built over it) is single-use and
 // single-goroutine, like the executor itself.
 type MeterSet struct {
 	h     *memsim.Hierarchy
-	stack []*Metered
+	stack []*Meter
 	last  memsim.Counters
 }
 
@@ -29,7 +33,10 @@ func NewMeterSet(ctx *Ctx) *MeterSet {
 	return &MeterSet{h: ctx.M.Hier}
 }
 
-func (ms *MeterSet) enter(m *Metered) {
+// Enter pushes m: counters advanced since the last boundary are credited to
+// the operator that was running, and subsequent work accrues to m. Every
+// Enter must be paired with an Exit (defer it around the wrapped call).
+func (ms *MeterSet) Enter(m *Meter) {
 	now := ms.h.Counters()
 	if n := len(ms.stack); n > 0 {
 		top := ms.stack[n-1]
@@ -39,27 +46,56 @@ func (ms *MeterSet) enter(m *Metered) {
 	ms.last = now
 }
 
-func (ms *MeterSet) exit(m *Metered) {
+// Exit pops m, crediting it with the counters advanced since Enter (minus
+// any nested Enter/Exit windows, which were credited to the nested meters).
+func (ms *MeterSet) Exit(m *Meter) {
 	now := ms.h.Counters()
 	m.own = m.own.Add(now.Sub(ms.last))
 	ms.stack = ms.stack[:len(ms.stack)-1]
 	ms.last = now
 }
 
-// Metered wraps an operator and records the PMU counters its own work (not
-// its children's) advances, plus its emitted row count. Wrap every node of
-// a plan with Metered over one shared MeterSet to get an exact per-operator
-// decomposition of the statement's counter footprint.
-type Metered struct {
-	Set   *MeterSet
-	Child Operator
-	// Label names the wrapped operator for EXPLAIN output.
+// Meter is one attribution cell: the PMU counters an operator's own work
+// (not its children's) advances, plus its emitted row count.
+type Meter struct {
+	// Label names the metered operator for EXPLAIN output.
 	Label string
-	// Kids are the metered children of Child, for inclusive rollups.
-	Kids []*Metered
+	// Kids are the meters of the operator's children, for inclusive
+	// rollups.
+	Kids []*Meter
 
 	own  memsim.Counters
 	rows int
+}
+
+// Own returns the counters attributed exclusively to this operator.
+func (m *Meter) Own() memsim.Counters { return m.own }
+
+// Rows returns how many rows the operator emitted.
+func (m *Meter) Rows() int { return m.rows }
+
+// AddRows records n emitted rows (batch operators count a whole batch at
+// once).
+func (m *Meter) AddRows(n int) { m.rows += n }
+
+// Inclusive returns this operator's counters including all metered
+// descendants.
+func (m *Meter) Inclusive() memsim.Counters {
+	c := m.own
+	for _, k := range m.Kids {
+		c = c.Add(k.Inclusive())
+	}
+	return c
+}
+
+// Metered wraps a row operator and records its exclusive counters and row
+// count in M. Wrap every node of a plan with Metered over one shared
+// MeterSet to get an exact per-operator decomposition of the statement's
+// counter footprint.
+type Metered struct {
+	Set   *MeterSet
+	Child Operator
+	M     *Meter
 }
 
 // Schema implements Operator.
@@ -67,41 +103,25 @@ func (m *Metered) Schema() *catalog.Schema { return m.Child.Schema() }
 
 // Open implements Operator.
 func (m *Metered) Open() error {
-	m.Set.enter(m)
-	defer m.Set.exit(m)
+	m.Set.Enter(m.M)
+	defer m.Set.Exit(m.M)
 	return m.Child.Open()
 }
 
 // Next implements Operator.
 func (m *Metered) Next() (value.Row, bool, error) {
-	m.Set.enter(m)
-	defer m.Set.exit(m)
+	m.Set.Enter(m.M)
+	defer m.Set.Exit(m.M)
 	row, ok, err := m.Child.Next()
 	if ok {
-		m.rows++
+		m.M.AddRows(1)
 	}
 	return row, ok, err
 }
 
 // Close implements Operator.
 func (m *Metered) Close() error {
-	m.Set.enter(m)
-	defer m.Set.exit(m)
+	m.Set.Enter(m.M)
+	defer m.Set.Exit(m.M)
 	return m.Child.Close()
-}
-
-// Own returns the counters attributed exclusively to this operator.
-func (m *Metered) Own() memsim.Counters { return m.own }
-
-// Rows returns how many rows the operator emitted.
-func (m *Metered) Rows() int { return m.rows }
-
-// Inclusive returns this operator's counters including all metered
-// descendants.
-func (m *Metered) Inclusive() memsim.Counters {
-	c := m.own
-	for _, k := range m.Kids {
-		c = c.Add(k.Inclusive())
-	}
-	return c
 }

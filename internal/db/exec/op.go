@@ -266,7 +266,7 @@ func NewMemTable(ctx *Ctx, schema *catalog.Schema, rows []value.Row) *MemTable {
 	}
 	base := ctx.Arena.Alloc(size, memsim.LineSize)
 	for i := range rows {
-		ctx.Poll()
+		ctx.PollEvery(i)
 		ctx.M.Hier.StoreRange(base+uint64(i*width), uint64(width))
 	}
 	return &MemTable{Ctx: ctx, schema: schema, rows: rows, base: base, width: width}

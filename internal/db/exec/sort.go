@@ -47,7 +47,7 @@ func (s *Sort) Open() error {
 	// Precompute key columns (engines sort on extracted keys).
 	s.keys = make([][]value.Value, len(rows))
 	for i, r := range rows {
-		s.Ctx.Poll()
+		s.Ctx.PollEvery(i)
 		ks := make([]value.Value, len(s.Keys))
 		for k, sk := range s.Keys {
 			ks[k] = sk.Expr.Eval(r)
@@ -64,7 +64,7 @@ func (s *Sort) Open() error {
 	s.base = s.Ctx.Arena.Alloc(n*16, memsim.PageSize)
 	h := s.Ctx.M.Hier
 	for i := range rows {
-		s.Ctx.Poll()
+		s.Ctx.PollEvery(i)
 		h.Store(s.base + uint64(i)*16)
 	}
 

@@ -38,9 +38,12 @@ func (n *Node) Title() string {
 	}
 }
 
-// detail renders the node's predicate/bound/key annotations.
+// detail renders the node's mode/predicate/bound/key annotations.
 func (n *Node) detail() string {
 	var parts []string
+	if vecEligibleKind(n.Kind) {
+		parts = append(parts, "mode="+n.Mode.String())
+	}
 	if n.Kind == opIndexScan {
 		lo, hi := "..", ".."
 		if n.Lo != nil {

@@ -28,13 +28,35 @@ const (
 	opLimit
 )
 
+// Mode selects the executor implementation of a plan node: the classic
+// row-at-a-time interpreter or the vectorized batch-at-a-time engine
+// (internal/db/vec). The optimizer picks per operator by predicted active
+// energy; vectorized nodes can only stack on vectorized children, so a plan
+// is a row tree with vector chains rooted at sequential scans.
+type Mode int
+
+const (
+	ModeRow Mode = iota
+	ModeVector
+)
+
+// String renders the mode as it appears in EXPLAIN output.
+func (m Mode) String() string {
+	if m == ModeVector {
+		return "vector"
+	}
+	return "row"
+}
+
 // Node is one operator of a chosen physical plan. Every decision the
 // optimizer makes — scan method, index bounds, join strategy and order,
-// pruned columns — is recorded in the node, so Build re-instantiates exactly
-// the same executor tree every time (re-planning could flip choices as
-// buffer-pool residency shifts; a Prepared plan must not).
+// pruned columns, row-versus-vector execution mode — is recorded in the
+// node, so Build re-instantiates exactly the same executor tree every time
+// (re-planning could flip choices as buffer-pool residency shifts; a
+// Prepared plan must not).
 type Node struct {
 	Kind opKind
+	Mode Mode
 	Kids []*Node
 
 	// Scans and the index-join inner side.
@@ -97,6 +119,10 @@ type planCtx struct {
 	star bool
 	// topRefs are the columns referenced above the join chain.
 	topRefs map[string]bool
+	// lazy tracks, per vector-mode node whose output batch is lazily
+	// backed by raw scan rows, which columns its subtree has already
+	// materialized (see chooseModes).
+	lazy map[*Node]*lazyBatch
 }
 
 func newPlanCtx(e *engine.Engine, stmt *sql.SelectStmt, lp *logical) *planCtx {

@@ -15,10 +15,13 @@
 package plan
 
 import (
+	"fmt"
+
 	"energydb/internal/db/engine"
 	"energydb/internal/db/exec"
 	"energydb/internal/db/sql"
 	"energydb/internal/db/value"
+	"energydb/internal/db/vec"
 )
 
 // Prepared is an optimized statement: the chosen physical plan with every
@@ -47,6 +50,7 @@ func Prepare(e *engine.Engine, stmt *sql.SelectStmt) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	pc.chooseModes(root)
 	return &Prepared{E: e, Stmt: stmt, Root: root}, nil
 }
 
@@ -62,17 +66,27 @@ func (p *Prepared) Build() (exec.Operator, error) {
 // BuildMetered instantiates the executor tree with every operator wrapped in
 // a counter meter, for per-operator energy attribution. The returned map
 // locates each node's meter.
-func (p *Prepared) BuildMetered() (exec.Operator, map[*Node]*exec.Metered, error) {
+func (p *Prepared) BuildMetered() (exec.Operator, map[*Node]*exec.Meter, error) {
 	ms := exec.NewMeterSet(p.E.Ctx)
-	meters := make(map[*Node]*exec.Metered)
+	meters := make(map[*Node]*exec.Meter)
 	op, err := p.instantiate(p.Root, ms, meters)
 	return op, meters, err
 }
 
-func (p *Prepared) instantiate(n *Node, ms *exec.MeterSet, meters map[*Node]*exec.Metered) (exec.Operator, error) {
+func (p *Prepared) instantiate(n *Node, ms *exec.MeterSet, meters map[*Node]*exec.Meter) (exec.Operator, error) {
+	if n.Mode == ModeVector {
+		// The whole vector chain rooted here is built batch-at-a-time and
+		// adapted back to rows for the (row-mode) parent. The adapter is
+		// charge-free, so it needs no meter of its own.
+		vop, err := p.instantiateVec(n, ms, meters)
+		if err != nil {
+			return nil, err
+		}
+		return &vec.RowSource{Child: vop}, nil
+	}
 	e := p.E
 	kids := make([]exec.Operator, len(n.Kids))
-	var kidMeters []*exec.Metered
+	var kidMeters []*exec.Meter
 	for i, k := range n.Kids {
 		op, err := p.instantiate(k, ms, meters)
 		if err != nil {
@@ -120,9 +134,50 @@ func (p *Prepared) instantiate(n *Node, ms *exec.MeterSet, meters map[*Node]*exe
 		op = &exec.Limit{Child: kids[0], N: n.LimitN}
 	}
 	if ms != nil {
-		m := &exec.Metered{Set: ms, Child: op, Label: n.Title(), Kids: kidMeters}
+		m := &exec.Meter{Label: n.Title(), Kids: kidMeters}
 		meters[n] = m
-		return m, nil
+		return &exec.Metered{Set: ms, Child: op, M: m}, nil
+	}
+	return op, nil
+}
+
+// instantiateVec builds the vectorized executor for a vector-mode node.
+// chooseModes guarantees every child of a vector node is itself in vector
+// mode, so the recursion bottoms out at the sequential scan.
+func (p *Prepared) instantiateVec(n *Node, ms *exec.MeterSet, meters map[*Node]*exec.Meter) (vec.Operator, error) {
+	e := p.E
+	var child vec.Operator
+	var kidMeters []*exec.Meter
+	if len(n.Kids) == 1 {
+		var err error
+		child, err = p.instantiateVec(n.Kids[0], ms, meters)
+		if err != nil {
+			return nil, err
+		}
+		if ms != nil {
+			kidMeters = append(kidMeters, meters[n.Kids[0]])
+		}
+	}
+	var op vec.Operator
+	switch n.Kind {
+	case opSeqScan:
+		op = &vec.Scan{Ctx: e.Ctx, File: n.Table.File, Pred: n.Filter}
+	case opFilter:
+		op = &vec.Filter{Ctx: e.Ctx, Child: child, Pred: n.Filter}
+	case opPrune:
+		op = &vec.Prune{Ctx: e.Ctx, Child: child, Cols: n.Cols}
+	case opProject:
+		op = &vec.Project{Ctx: e.Ctx, Child: child, Exprs: n.Exprs, Names: n.Names}
+	case opAggregate:
+		a := &vec.Agg{Ctx: e.Ctx, Child: child, GroupBy: n.GroupExprs, Aggs: n.Aggs}
+		op = &vec.Project{Ctx: e.Ctx, Child: a, Exprs: n.PostExprs, Names: n.PostNames}
+	default:
+		return nil, fmt.Errorf("plan: no vectorized implementation for %s", n.Title())
+	}
+	if ms != nil {
+		m := &exec.Meter{Label: n.Title(), Kids: kidMeters}
+		meters[n] = m
+		op = &vec.Metered{Set: ms, Child: op, M: m}
 	}
 	return op, nil
 }

@@ -1,0 +1,360 @@
+package plan
+
+import (
+	"math"
+
+	"energydb/internal/db/exec"
+	"energydb/internal/db/vec"
+)
+
+// Row-versus-vector mode choice. After the plan shape is fixed, chooseModes
+// walks it bottom-up and flips eligible operators to the vectorized engine
+// when the vector implementation's predicted active energy beats the row
+// implementation's. The estimators below mirror the vec package's charging
+// scheme exactly — one per-batch dispatch (a tuple's worth of interpretation
+// overhead) per primitive plus per-element payload traffic — priced with the
+// same calibrated ΔE_m table as every other estimate, so the crossover falls
+// out of the model: tiny inputs stay on the row path (the batch dispatch
+// does not amortize), large scans go vector.
+//
+// A vectorized operator exchanges columnar batches, so it can only stack on
+// a vectorized child; chains are rooted at sequential scans and adapted back
+// to rows (charge-free) where a row-only parent — sort, join, limit — takes
+// over.
+
+// vecEligibleKind reports whether the node kind has a vectorized
+// implementation at all (used by EXPLAIN to decide which nodes carry a mode
+// annotation).
+func vecEligibleKind(k opKind) bool {
+	switch k {
+	case opSeqScan, opFilter, opPrune, opProject, opAggregate:
+		return true
+	}
+	return false
+}
+
+// supportedExpr treats a missing predicate as vectorizable.
+func supportedExpr(e exec.Expr) bool { return e == nil || vec.Supported(e) }
+
+func allSupported(exprs []exec.Expr) bool {
+	for _, e := range exprs {
+		if !supportedExpr(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// lazyBatch is the planner's model of a lazily materialized scan batch
+// (vec.Batch backed by raw source rows): mat records the columns already
+// materialized by the subtree below, rows the backing scan's positions per
+// stream (materialization covers every position, selected or not).
+type lazyBatch struct {
+	mat  map[int]bool
+	rows float64
+}
+
+func cloneLazy(lz *lazyBatch) *lazyBatch {
+	if lz == nil {
+		return nil
+	}
+	mat := make(map[int]bool, len(lz.mat))
+	for c := range lz.mat {
+		mat[c] = true
+	}
+	return &lazyBatch{mat: mat, rows: lz.rows}
+}
+
+// chooseModes assigns execution modes bottom-up: a node goes vector when it
+// is implemented, its inputs arrive as batches, its expressions compile to
+// kernels, and the predicted vector energy is lower than the row estimate
+// already stored in EstEJ. The winning estimate replaces EstEJ so EXPLAIN's
+// predictions describe the plan that will actually run. Alongside the cost,
+// each estimator returns the node's output lazy-batch state (nil when the
+// output is fully materialized), committed only when the node actually
+// flips to vector mode.
+func (pc *planCtx) chooseModes(n *Node) {
+	for _, k := range n.Kids {
+		pc.chooseModes(k)
+	}
+	if pc.e.Knobs.DisableVectorExec {
+		return
+	}
+	var vecEJ float64
+	var lz *lazyBatch
+	switch n.Kind {
+	case opSeqScan:
+		if !supportedExpr(n.Filter) {
+			return
+		}
+		vecEJ, lz = pc.costVecSeqScan(n)
+	case opFilter:
+		if n.Kids[0].Mode != ModeVector || !supportedExpr(n.Filter) {
+			return
+		}
+		vecEJ, lz = pc.costVecFilter(n)
+	case opPrune:
+		if n.Kids[0].Mode != ModeVector {
+			return
+		}
+		vecEJ, lz = pc.costVecPrune(n)
+	case opProject:
+		if n.Kids[0].Mode != ModeVector || !allSupported(n.Exprs) {
+			return
+		}
+		vecEJ, lz = pc.costVecProject(n)
+	case opAggregate:
+		if n.Kids[0].Mode != ModeVector {
+			return
+		}
+		if !allSupported(n.GroupExprs) || !allSupported(n.PostExprs) {
+			return
+		}
+		for _, a := range n.Aggs {
+			if !supportedExpr(a.Arg) {
+				return
+			}
+		}
+		vecEJ, lz = pc.costVecAggregate(n)
+	default:
+		return
+	}
+	if vecEJ < n.EstEJ {
+		n.Mode = ModeVector
+		n.EstEJ = vecEJ
+		if lz != nil {
+			if pc.lazy == nil {
+				pc.lazy = map[*Node]*lazyBatch{}
+			}
+			pc.lazy[n] = lz
+		}
+	}
+}
+
+// vector-mode estimators ------------------------------------------------------
+
+// batchWidth is the planner's view of the L1D-derived batch size.
+func (pc *planCtx) batchWidth() float64 {
+	return float64(vec.BatchSizeFor(pc.e.M.Profile.Mem))
+}
+
+// batchesFor counts the batches a stream of n rows occupies.
+func (pc *planCtx) batchesFor(n float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return math.Ceil(n / pc.batchWidth())
+}
+
+// vecKernel charges one vectorized primitive over n elements spread across
+// `batches` batches with `inputs` non-constant input vectors: a per-batch
+// dispatch, then per element the kernel's payload loads, ALU work and
+// payload store (vec.chargeKernel's counters).
+func (pc *planCtx) vecKernel(a *est, batches, n, inputs float64) {
+	pc.c.tuple(a, batches)
+	a.l1d += n * inputs * vec.KernelLoadsPerVal
+	a.add += n * vec.KernelInstrPerVal
+	a.reg2 += n * vec.KernelStoresPerVal
+}
+
+// nonConstInput counts an expression operand as one vector load stream
+// unless it is a constant (broadcast vectors have no payload to load).
+func nonConstInput(e exec.Expr) float64 {
+	if _, ok := e.(exec.Const); ok {
+		return 0
+	}
+	return 1
+}
+
+// vecExpr charges the kernels of one expression tree over n selected
+// elements: each computed node is one primitive; columns alias batch vectors
+// and constants broadcast, both free.
+func (pc *planCtx) vecExpr(a *est, e exec.Expr, batches, n float64) {
+	switch t := e.(type) {
+	case exec.BinOp:
+		pc.vecExpr(a, t.L, batches, n)
+		pc.vecExpr(a, t.R, batches, n)
+		pc.vecKernel(a, batches, n, nonConstInput(t.L)+nonConstInput(t.R))
+	case exec.Not:
+		pc.vecExpr(a, t.E, batches, n)
+		pc.vecKernel(a, batches, n, nonConstInput(t.E))
+	case exec.Like:
+		pc.vecExpr(a, t.E, batches, n)
+		pc.vecKernel(a, batches, n, nonConstInput(t.E))
+	case exec.InList:
+		pc.vecExpr(a, t.E, batches, n)
+		pc.vecKernel(a, batches, n, nonConstInput(t.E))
+	}
+}
+
+// vecPred charges predicate evaluation plus the selection narrowing
+// (vec.applyPred): the predicate kernels, one branch pass over the n
+// candidates, and the selection-vector store for the `selected` survivors.
+func (pc *planCtx) vecPred(a *est, pred exec.Expr, batches, n, selected float64) {
+	if pred == nil {
+		return
+	}
+	pc.vecExpr(a, pred, batches, n)
+	pc.c.tuple(a, batches)
+	a.l1d += n
+	a.other += n
+	a.reg2 += selected
+}
+
+// exprCols collects the column indexes an expression references. Only the
+// kernel-supported node types can appear under vector mode, so the walk
+// covers exactly those.
+func exprCols(e exec.Expr, set map[int]bool) {
+	switch t := e.(type) {
+	case exec.Col:
+		set[t.Idx] = true
+	case exec.BinOp:
+		exprCols(t.L, set)
+		exprCols(t.R, set)
+	case exec.Not:
+		exprCols(t.E, set)
+	case exec.Like:
+		exprCols(t.E, set)
+	case exec.InList:
+		exprCols(t.E, set)
+	}
+}
+
+// vecMaterialize charges the lazy materializations this node's kernels
+// trigger (vec.Batch.Col): for each referenced column the subtree has not
+// touched yet, one primitive per batch — a dispatch, then a move and a
+// payload store per backing position — and marks it materialized in lz.
+func (pc *planCtx) vecMaterialize(a *est, lz *lazyBatch, cols map[int]bool) {
+	if lz == nil {
+		return
+	}
+	fresh := 0.0
+	for c := range cols {
+		if !lz.mat[c] {
+			lz.mat[c] = true
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		return
+	}
+	pc.c.tuple(a, pc.batchesFor(lz.rows)*fresh)
+	a.add += lz.rows * fresh
+	a.reg2 += lz.rows * fresh
+}
+
+// costVecSeqScan predicts the vectorized scan: the same heap traffic as the
+// row scan (the batch scanner touches the same pages and lines), then the
+// pushed predicate over lazily materialized columns — only columns the
+// predicate references move payload bytes here; the rest materialize where
+// (and if) a parent kernel first touches them. There is no output-row copy —
+// batches are handed to the parent by reference.
+func (pc *planCtx) costVecSeqScan(n *Node) (float64, *lazyBatch) {
+	var a est
+	rows := float64(n.Table.File.RowCount())
+	batches := pc.batchesFor(rows)
+	pc.c.scanHeap(&a, n.Table)
+	pc.c.tuple(&a, batches) // per-batch driver dispatch
+	lz := &lazyBatch{mat: map[int]bool{}, rows: rows}
+	if n.Filter != nil {
+		cols := map[int]bool{}
+		exprCols(n.Filter, cols)
+		pc.vecMaterialize(&a, lz, cols)
+		pc.vecPred(&a, n.Filter, batches, rows, n.EstRows)
+	}
+	return pc.c.price(a), lz
+}
+
+// costVecFilter predicts a vectorized selection narrowing. The batch passes
+// through by reference, so the output stays lazily backed.
+func (pc *planCtx) costVecFilter(n *Node) (float64, *lazyBatch) {
+	var a est
+	lz := cloneLazy(pc.lazy[n.Kids[0]])
+	cols := map[int]bool{}
+	exprCols(n.Filter, cols)
+	pc.vecMaterialize(&a, lz, cols)
+	in := n.Kids[0].EstRows
+	pc.vecPred(&a, n.Filter, pc.batchesFor(in), in, n.EstRows)
+	return pc.c.price(a), lz
+}
+
+// costVecPrune predicts a vectorized column prune: one dispatch per batch
+// remapping column slots, materializing the kept columns (no further
+// payload movement). The pruned batch is fully materialized.
+func (pc *planCtx) costVecPrune(n *Node) (float64, *lazyBatch) {
+	var a est
+	lz := cloneLazy(pc.lazy[n.Kids[0]])
+	cols := map[int]bool{}
+	for _, c := range n.Cols {
+		cols[c] = true
+	}
+	pc.vecMaterialize(&a, lz, cols)
+	batches := pc.batchesFor(n.Kids[0].EstRows)
+	pc.c.tuple(&a, batches)
+	a.add += batches * float64(len(n.Cols))
+	return pc.c.price(a), nil
+}
+
+// costVecProject predicts one kernel tree per output expression, plus the
+// lazy materialization of the input columns those kernels touch. The
+// projected batch is fully materialized.
+func (pc *planCtx) costVecProject(n *Node) (float64, *lazyBatch) {
+	var a est
+	lz := cloneLazy(pc.lazy[n.Kids[0]])
+	cols := map[int]bool{}
+	for _, e := range n.Exprs {
+		exprCols(e, cols)
+	}
+	pc.vecMaterialize(&a, lz, cols)
+	in := n.Kids[0].EstRows
+	batches := pc.batchesFor(in)
+	for _, e := range n.Exprs {
+		pc.vecExpr(&a, e, batches, in)
+	}
+	return pc.c.price(a), nil
+}
+
+// costVecAggregate predicts the batch-at-a-time hash aggregation: key and
+// argument kernels, one table-update primitive per batch (probe loads,
+// accumulator stores and update arithmetic, all L1-resident — the simulated
+// table fits the cache), then the group materialization and the select-list
+// re-projection over the group batches.
+func (pc *planCtx) costVecAggregate(n *Node) (float64, *lazyBatch) {
+	var a est
+	lz := cloneLazy(pc.lazy[n.Kids[0]])
+	cols := map[int]bool{}
+	for _, e := range n.GroupExprs {
+		exprCols(e, cols)
+	}
+	for _, ag := range n.Aggs {
+		if ag.Arg != nil {
+			exprCols(ag.Arg, cols)
+		}
+	}
+	pc.vecMaterialize(&a, lz, cols)
+	in := n.Kids[0].EstRows
+	groups := n.EstRows
+	batches := pc.batchesFor(in)
+	for _, e := range n.GroupExprs {
+		pc.vecExpr(&a, e, batches, in)
+	}
+	for _, ag := range n.Aggs {
+		if ag.Arg != nil {
+			pc.vecExpr(&a, ag.Arg, batches, in)
+		}
+	}
+	pc.c.tuple(&a, batches)
+	a.l1d += 2 * in
+	a.reg2 += in
+	a.add += in * float64(2+len(n.Aggs))
+
+	outCols := float64(len(n.GroupExprs) + len(n.Aggs))
+	gBatches := pc.batchesFor(groups)
+	pc.c.tuple(&a, gBatches*outCols)
+	a.add += groups * outCols
+	a.reg2 += groups * outCols
+	for _, e := range n.PostExprs {
+		pc.vecExpr(&a, e, gBatches, groups)
+	}
+	return pc.c.price(a), nil
+}

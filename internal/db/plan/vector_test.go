@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/sql"
+	"energydb/internal/db/value"
+)
+
+// vecTestEngine builds an engine with one `facts` table of the given size.
+func vecTestEngine(t *testing.T, rows int) *engine.Engine {
+	t.Helper()
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	facts := e.CreateTable("facts", catalog.NewSchema(
+		catalog.Column{Name: "id", Type: value.TypeInt},
+		catalog.Column{Name: "grp", Type: value.TypeInt},
+		catalog.Column{Name: "amount", Type: value.TypeFloat},
+	))
+	for i := 0; i < rows; i++ {
+		e.Insert(facts, value.Row{
+			value.Int(int64(i)),
+			value.Int(int64(i % 5)),
+			value.Float(float64(i%89) / 3),
+		})
+	}
+	return e
+}
+
+// findNode returns the first node of the kind in preorder.
+func findNode(n *Node, k opKind) *Node {
+	if n.Kind == k {
+		return n
+	}
+	for _, kid := range n.Kids {
+		if f := findNode(kid, k); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func prepare(t *testing.T, e *engine.Engine, query string) *Prepared {
+	t.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(e, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVectorModeChoice checks the optimizer's row-versus-vector decision: a
+// full-table filter+aggregate over many rows goes vector (the per-batch
+// dispatch amortizes), while the same query over a handful of rows falls
+// back to row mode — the ISSUE's tiny-cardinality regression.
+func TestVectorModeChoice(t *testing.T) {
+	const query = "SELECT grp, SUM(amount) FROM facts WHERE amount > 1 GROUP BY grp"
+
+	big := prepare(t, vecTestEngine(t, 5000), query)
+	scan := findNode(big.Root, opSeqScan)
+	agg := findNode(big.Root, opAggregate)
+	if scan == nil || agg == nil {
+		t.Fatalf("plan shape: %s", big.Summary())
+	}
+	if scan.Mode != ModeVector {
+		t.Errorf("5000-row scan chose %v, want vector", scan.Mode)
+	}
+	if agg.Mode != ModeVector {
+		t.Errorf("5000-row aggregate chose %v, want vector", agg.Mode)
+	}
+
+	tiny := prepare(t, vecTestEngine(t, 3), query)
+	if scan := findNode(tiny.Root, opSeqScan); scan == nil || scan.Mode != ModeRow {
+		t.Errorf("3-row scan must stay on the row path, got %v", scan.Mode)
+	}
+}
+
+// TestDisableVectorExecKnob checks the X7 escape hatch: with the knob set,
+// every operator stays in row mode regardless of cardinality.
+func TestDisableVectorExecKnob(t *testing.T) {
+	e := vecTestEngine(t, 5000)
+	e.Knobs.DisableVectorExec = true
+	p := prepare(t, e, "SELECT grp, SUM(amount) FROM facts GROUP BY grp")
+	var assertRow func(n *Node)
+	assertRow = func(n *Node) {
+		if n.Mode != ModeRow {
+			t.Errorf("%s chose %v with DisableVectorExec", n.Title(), n.Mode)
+		}
+		for _, k := range n.Kids {
+			assertRow(k)
+		}
+	}
+	assertRow(p.Root)
+}
+
+// TestVectorPlanMatchesRowPlan runs the same statement through the vector
+// plan and the forced-row plan and requires identical result sets.
+func TestVectorPlanMatchesRowPlan(t *testing.T) {
+	const query = `SELECT grp, COUNT(*) AS n, SUM(amount) AS total
+		FROM facts WHERE id < 4000 AND amount > 2 GROUP BY grp ORDER BY grp`
+
+	ev := vecTestEngine(t, 5000)
+	got, _, err := Run(ev, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := prepare(t, ev, query); findNode(p.Root, opSeqScan).Mode != ModeVector {
+		t.Fatalf("test premise: plan did not choose vector mode:\n%s", p.Summary())
+	}
+
+	er := vecTestEngine(t, 5000)
+	er.Knobs.DisableVectorExec = true
+	want, _, err := Run(er, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("vector plan result differs from row plan:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestExplainShowsMode checks the EXPLAIN annotation on both paths.
+func TestExplainShowsMode(t *testing.T) {
+	e := vecTestEngine(t, 5000)
+	lines := explainLines(t, e, "SELECT grp, SUM(amount) FROM facts GROUP BY grp")
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "mode=vector") {
+		t.Errorf("big-table EXPLAIN missing mode=vector:\n%s", joined)
+	}
+
+	e2 := vecTestEngine(t, 3)
+	joined2 := strings.Join(explainLines(t, e2,
+		"SELECT grp, SUM(amount) FROM facts WHERE amount > 1 GROUP BY grp"), "\n")
+	if !strings.Contains(joined2, "mode=row") {
+		t.Errorf("tiny-table EXPLAIN missing mode=row:\n%s", joined2)
+	}
+}

@@ -329,6 +329,19 @@ func (d *TableData) ForEachRaw(fn func(id int, row value.Row)) {
 	}
 }
 
+// rowSpan copies up to len(dst) row headers starting at lo into dst under
+// one read lock, returning how many were copied. Rows are never mutated in
+// place (Update replaces the slice element), so the copied headers stay
+// valid after the lock is released.
+func (d *TableData) rowSpan(lo int, dst []value.Row) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if lo < 0 || lo >= len(d.rows) {
+		return 0
+	}
+	return copy(dst, d.rows[lo:])
+}
+
 var nextFileID atomic.Int64
 
 // HeapFile stores fixed-width rows in slotted pages behind a buffer pool.
@@ -505,4 +518,56 @@ func (s *Scanner) Next() (value.Row, int, bool) {
 	rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*d.rowWidth)
 	hf.dev.M.Hier.LoadRange(rowAddr, uint64(d.rowWidth))
 	return row, id, true
+}
+
+// BatchScanner iterates a heap file in row order a batch at a time: each
+// page is fetched once and each page's row run is streamed with a single
+// range load, so the batch touches the same pages and cache lines as the
+// row-at-a-time Scanner while amortizing the per-call bookkeeping over the
+// whole batch — the vectorized-scan access pattern.
+type BatchScanner struct {
+	hf       *HeapFile
+	next     int
+	curPage  int
+	pageAddr uint64
+	buf      []value.Row
+}
+
+// BatchScan starts a full-file sequential scan that yields up to max rows
+// per batch.
+func (hf *HeapFile) BatchScan(max int) *BatchScanner {
+	if max < 1 {
+		max = 1
+	}
+	return &BatchScanner{hf: hf, curPage: -1, buf: make([]value.Row, max)}
+}
+
+// NextBatch returns the next run of rows and the id of the first, or
+// ok=false at the end of the file. The returned slice is only valid until
+// the following NextBatch call (the batch buffer is reused).
+func (s *BatchScanner) NextBatch() ([]value.Row, int, bool) {
+	hf := s.hf
+	d := hf.data
+	n := d.rowSpan(s.next, s.buf)
+	if n == 0 {
+		return nil, 0, false
+	}
+	base := s.next
+	s.next += n
+	h := hf.dev.M.Hier
+	for id := base; id < base+n; {
+		page, slot := id/d.perPage, id%d.perPage
+		if page != s.curPage {
+			s.pageAddr = hf.pool.Fetch(PageID{d.fileID, page}, true)
+			s.curPage = page
+		}
+		run := d.perPage - slot
+		if rem := base + n - id; run > rem {
+			run = rem
+		}
+		rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*d.rowWidth)
+		h.LoadRange(rowAddr, uint64(run*d.rowWidth))
+		id += run
+	}
+	return s.buf[:n], base, true
 }

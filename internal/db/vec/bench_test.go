@@ -1,0 +1,216 @@
+package vec_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/value"
+	"energydb/internal/db/vec"
+	"energydb/internal/tpch"
+)
+
+// benchRow is one cell of the row-versus-vector throughput sweep,
+// serialized into BENCH_vector.json. Batch is 0 for the row path;
+// SpeedupVsRow is filled in by the writer from the row-path baseline at the
+// same selectivity.
+type benchRow struct {
+	Mode         string  `json:"mode"`
+	Batch        int     `json:"batch,omitempty"`
+	Selectivity  float64 `json:"selectivity"`
+	TableRows    int     `json:"table_rows"`
+	Runs         int     `json:"runs"`
+	Seconds      float64 `json:"seconds"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	SpeedupVsRow float64 `json:"speedup_vs_row,omitempty"`
+}
+
+// benchCase is one predicate of the selectivity sweep over lineitem
+// (l_quantity is uniform on [1,50], so the threshold is ~the selectivity).
+type benchCase struct {
+	label string
+	pred  exec.Expr
+}
+
+// BenchmarkVectorThroughput measures base-table rows per wall-clock second
+// for the ISSUE's acceptance query — a full-table filter+aggregate over the
+// TPC-H subset's lineitem (SELECT l_returnflag, SUM(l_extendedprice),
+// COUNT(*) FROM lineitem WHERE l_quantity < c GROUP BY l_returnflag) —
+// through the row executor and through the vectorized executor at batch
+// widths 1/64/256/1024/4096, across low/medium/full selectivities. Both
+// paths run the same simulated machine and charge the same meter; the
+// speedup is the vectorized engine's interpretation saving (one dispatch
+// per primitive per batch instead of per tuple). The sweep is written to
+// BENCH_vector.json at the repo root for the acceptance check (vector >=
+// 2x row rows/sec at batch >= 256).
+func BenchmarkVectorThroughput(b *testing.B) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	tpch.Setup(e, tpch.Size10MB)
+	tbl := e.MustTable("lineitem")
+
+	const (
+		colQuantity = 4 // l_quantity
+		colPrice    = 5 // l_extendedprice
+		colFlag     = 8 // l_returnflag
+	)
+	lt := func(c float64) exec.Expr {
+		return exec.BinOp{Op: exec.OpLt, L: exec.Col{Idx: colQuantity}, R: exec.Const{V: value.Float(c)}}
+	}
+	// l_quantity is uniform on [1,50], so lt(51) is an always-true filter:
+	// the "full" cell is still a genuine filter+aggregate query (the
+	// acceptance shape), just with selectivity 1.
+	cases := []benchCase{
+		{"low", lt(5)},
+		{"half", lt(25)},
+		{"full", lt(51)},
+	}
+	groupBy := []exec.Expr{exec.Col{Idx: colFlag}}
+	aggs := []exec.AggSpec{
+		{Kind: exec.AggSum, Arg: exec.Col{Idx: colPrice}, Name: "sum_price"},
+		{Kind: exec.AggCount, Name: "n"},
+	}
+
+	all, err := exec.Collect(e.Scan(tbl, nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tableRows := len(all)
+	selectivity := func(pred exec.Expr) float64 {
+		if pred == nil {
+			return 1
+		}
+		n := 0
+		for _, r := range all {
+			if exec.Truthy(pred.Eval(r)) {
+				n++
+			}
+		}
+		return float64(n) / float64(tableRows)
+	}
+
+	var rows []benchRow
+	record := func(b *testing.B, mode string, batch int, sel float64) {
+		rps := float64(b.N) * float64(tableRows) / b.Elapsed().Seconds()
+		b.ReportMetric(rps, "rows/sec")
+		rows = append(rows, benchRow{
+			Mode: mode, Batch: batch, Selectivity: sel, TableRows: tableRows,
+			Runs: b.N, Seconds: b.Elapsed().Seconds(), RowsPerSec: rps,
+		})
+	}
+
+	for _, c := range cases {
+		sel := selectivity(c.pred)
+		b.Run(fmt.Sprintf("mode=row/sel=%s", c.label), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Collect(e.GroupBy(e.Scan(tbl, c.pred), groupBy, aggs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			record(b, "row", 0, sel)
+		})
+		for _, batch := range []int{1, 64, 256, 1024, 4096} {
+			b.Run(fmt.Sprintf("mode=vector/batch=%d/sel=%s", batch, c.label), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					plan := &vec.RowSource{Child: &vec.Agg{
+						Ctx: e.Ctx,
+						Child: &vec.Scan{
+							Ctx: e.Ctx, File: tbl.File, Pred: c.pred, BatchSize: batch,
+						},
+						GroupBy: groupBy,
+						Aggs:    aggs,
+					}}
+					if _, err := exec.Collect(plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+				record(b, "vector", batch, sel)
+			})
+		}
+	}
+	writeVectorBenchJSON(b, rows)
+}
+
+// writeVectorBenchJSON writes the sweep to BENCH_vector.json next to
+// go.mod. Sub-benchmarks rerun with growing b.N; only each cell's final
+// (largest-N) measurement is kept, and every vector cell is annotated with
+// its speedup over the row path at the same selectivity.
+func writeVectorBenchJSON(b *testing.B, rows []benchRow) {
+	if len(rows) == 0 {
+		return
+	}
+	type key struct {
+		mode  string
+		batch int
+		sel   float64
+	}
+	final := make(map[key]benchRow, len(rows))
+	order := make([]key, 0, len(rows))
+	for _, r := range rows {
+		k := key{r.Mode, r.Batch, r.Selectivity}
+		if _, seen := final[k]; !seen {
+			order = append(order, k)
+		}
+		final[k] = r
+	}
+	rowBase := make(map[float64]float64)
+	for k, r := range final {
+		if k.mode == "row" {
+			rowBase[k.sel] = r.RowsPerSec
+		}
+	}
+	out := make([]benchRow, 0, len(order))
+	for _, k := range order {
+		r := final[k]
+		if k.mode == "vector" && rowBase[k.sel] > 0 {
+			r.SpeedupVsRow = r.RowsPerSec / rowBase[k.sel]
+		}
+		out = append(out, r)
+	}
+	root, err := repoRoot()
+	if err != nil {
+		b.Logf("BENCH_vector.json not written: %v", err)
+		return
+	}
+	data, err := json.MarshalIndent(struct {
+		Benchmark string     `json:"benchmark"`
+		Query     string     `json:"query"`
+		Rows      []benchRow `json:"rows"`
+	}{
+		Benchmark: "BenchmarkVectorThroughput",
+		Query:     "SELECT l_returnflag, SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity < c GROUP BY l_returnflag",
+		Rows:      out,
+	}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(root, "BENCH_vector.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_vector.json not written: %v", err)
+		return
+	}
+	b.Logf("wrote %s", path)
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,180 @@
+package vec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"energydb/internal/cpusim"
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/engine"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// fuzzTable seeds a table covering every datum type (NULLs included) with
+// deterministic pseudo-random content.
+func fuzzTable(r *rand.Rand, rows int) (*engine.Engine, *engine.Table) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	tbl := e.CreateTable("t", catalog.NewSchema(
+		catalog.Column{Name: "id", Type: value.TypeInt},
+		catalog.Column{Name: "grp", Type: value.TypeInt},
+		catalog.Column{Name: "price", Type: value.TypeFloat},
+		catalog.Column{Name: "name", Type: value.TypeStr, Width: 8},
+		catalog.Column{Name: "day", Type: value.TypeDate},
+	))
+	names := []string{"alpha", "beta", "gamma", "ax", ""}
+	for i := 0; i < rows; i++ {
+		price := value.Float(float64(r.Intn(500)) / 4)
+		if r.Intn(11) == 0 {
+			price = value.Null()
+		}
+		e.Insert(tbl, value.Row{
+			value.Int(int64(r.Intn(2000))),
+			value.Int(int64(r.Intn(6))),
+			price,
+			value.Str(names[r.Intn(len(names))]),
+			value.Date(int64(r.Intn(365))),
+		})
+	}
+	return e, tbl
+}
+
+var fuzzOps = []exec.BinOpKind{
+	exec.OpAdd, exec.OpSub, exec.OpMul, exec.OpDiv,
+	exec.OpEq, exec.OpNe, exec.OpLt, exec.OpLe, exec.OpGt, exec.OpGe,
+	exec.OpAnd, exec.OpOr,
+}
+
+var fuzzPatterns = []string{"a%", "%a", "%am%", "alpha", "", "%"}
+
+// randExpr draws a random expression over the fuzz table's five columns,
+// including shapes that demote vectors (mixed int/float arithmetic over
+// nullable inputs), NULL propagation, and division by zero.
+func randExpr(r *rand.Rand, depth int) exec.Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return exec.Const{V: value.Int(int64(r.Intn(100)))}
+		case 1:
+			return exec.Const{V: value.Float(float64(r.Intn(400)) / 4)}
+		default:
+			return exec.Col{Idx: r.Intn(5)}
+		}
+	}
+	switch r.Intn(10) {
+	case 0:
+		return exec.Not{E: randExpr(r, depth-1)}
+	case 1:
+		return exec.Like{E: exec.Col{Idx: 3}, Pattern: fuzzPatterns[r.Intn(len(fuzzPatterns))]}
+	case 2:
+		list := make([]value.Value, r.Intn(3)+1)
+		for i := range list {
+			list[i] = value.Int(int64(r.Intn(8)))
+		}
+		return exec.InList{E: exec.Col{Idx: r.Intn(5)}, List: list}
+	default:
+		return exec.BinOp{
+			Op: fuzzOps[r.Intn(len(fuzzOps))],
+			L:  randExpr(r, depth-1),
+			R:  randExpr(r, depth-1),
+		}
+	}
+}
+
+// runMetered drains op with every operator's meter registered in ms and
+// checks the ledger-partition invariant: the per-operator exclusive
+// counters must sum exactly to the statement's counter delta.
+func runMetered(t *testing.T, e *engine.Engine, op exec.Operator, ms *exec.MeterSet, meters []*exec.Meter) []value.Row {
+	t.Helper()
+	before := e.M.Hier.Counters()
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatalf("execution failed: %v", err)
+	}
+	delta := e.M.Hier.Counters().Sub(before)
+	var sum memsim.Counters
+	for _, m := range meters {
+		sum = sum.Add(m.Own())
+	}
+	if sum != delta {
+		t.Fatalf("metered counters do not partition the statement delta:\n sum   %+v\n delta %+v", sum, delta)
+	}
+	return rows
+}
+
+// FuzzVecExec is the differential fuzzer for the vectorized engine: any
+// random table, predicate and projection/aggregation must produce an
+// identical result set through the row and vector paths, and on both paths
+// the per-operator metered counters must sum exactly to that path's
+// statement counter delta (the EXPLAIN ENERGY partition invariant).
+func FuzzVecExec(f *testing.F) {
+	f.Add(int64(1), uint16(50), uint16(0), false)
+	f.Add(int64(2), uint16(300), uint16(1), true)
+	f.Add(int64(3), uint16(700), uint16(64), false)
+	f.Add(int64(4), uint16(128), uint16(4096), true)
+	f.Add(int64(5), uint16(1), uint16(7), true)
+	f.Add(int64(6), uint16(0), uint16(13), false)
+	f.Fuzz(func(t *testing.T, seed int64, nRows, batch uint16, aggregate bool) {
+		rows := int(nRows) % 800
+		batchSize := int(batch)%MaxBatch + 1
+		r := rand.New(rand.NewSource(seed))
+		pred := randExpr(r, 2)
+		exprSeed := r.Int63()
+
+		// Row path.
+		er, tr := fuzzTable(rand.New(rand.NewSource(seed)), rows)
+		msR := exec.NewMeterSet(er.Ctx)
+		mScanR := &exec.Meter{Label: "scan"}
+		mTopR := &exec.Meter{Label: "top", Kids: []*exec.Meter{mScanR}}
+		scanR := &exec.Metered{Set: msR, M: mScanR, Child: er.Scan(tr, pred)}
+
+		// Vector path on an identically seeded engine.
+		ev, tv := fuzzTable(rand.New(rand.NewSource(seed)), rows)
+		msV := exec.NewMeterSet(ev.Ctx)
+		mScanV := &exec.Meter{Label: "scan"}
+		mTopV := &exec.Meter{Label: "top", Kids: []*exec.Meter{mScanV}}
+		scanV := &Metered{Set: msV, M: mScanV, Child: &Scan{
+			Ctx: ev.Ctx, File: tv.File, Pred: pred, BatchSize: batchSize,
+		}}
+
+		var want, got []value.Row
+		if aggregate {
+			ra := rand.New(rand.NewSource(exprSeed))
+			groupBy := []exec.Expr{exec.Col{Idx: ra.Intn(5)}}
+			aggs := []exec.AggSpec{
+				{Kind: exec.AggSum, Arg: randExpr(ra, 1), Name: "s"},
+				{Kind: exec.AggCount, Name: "n"},
+				{Kind: exec.AggMin, Arg: exec.Col{Idx: ra.Intn(5)}, Name: "lo"},
+			}
+			want = runMetered(t, er, &exec.Metered{Set: msR, M: mTopR, Child: &exec.GroupBy{
+				Ctx: er.Ctx, Child: scanR, GroupBy: groupBy, Aggs: aggs,
+			}}, msR, []*exec.Meter{mScanR, mTopR})
+			got = runMetered(t, ev, &RowSource{
+				Child: &Metered{Set: msV, M: mTopV, Child: &Agg{
+					Ctx: ev.Ctx, Child: scanV, GroupBy: groupBy, Aggs: aggs,
+				}},
+			}, msV, []*exec.Meter{mScanV, mTopV})
+		} else {
+			ra := rand.New(rand.NewSource(exprSeed))
+			exprs := make([]exec.Expr, ra.Intn(3)+1)
+			for i := range exprs {
+				exprs[i] = randExpr(ra, 2)
+			}
+			want = runMetered(t, er, &exec.Metered{Set: msR, M: mTopR, Child: &exec.Project{
+				Ctx: er.Ctx, Child: scanR, Exprs: exprs,
+			}}, msR, []*exec.Meter{mScanR, mTopR})
+			got = runMetered(t, ev, &RowSource{
+				Child: &Metered{Set: msV, M: mTopV, Child: &Project{
+					Ctx: ev.Ctx, Child: scanV, Exprs: exprs,
+				}},
+			}, msV, []*exec.Meter{mScanV, mTopV})
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("vector result differs from row result: %d vs %d rows\nseed=%d rows=%d batch=%d agg=%v",
+				len(got), len(want), seed, rows, batchSize, aggregate)
+		}
+	})
+}

@@ -1,0 +1,473 @@
+package vec
+
+import (
+	"fmt"
+
+	"energydb/internal/db/catalog"
+	"energydb/internal/db/exec"
+	"energydb/internal/db/storage"
+	"energydb/internal/db/value"
+	"energydb/internal/memsim"
+)
+
+// Operator is the vectorized Volcano iterator: Next returns the next batch,
+// or nil at end of stream. Returned batches are only valid until the
+// following Next call (operators reuse their batch buffers).
+type Operator interface {
+	Schema() *catalog.Schema
+	Open() error
+	Next() (*Batch, error)
+	Close() error
+}
+
+// Scan streams a heap file batch-at-a-time: one BatchScanner call per batch
+// (page fetches plus one range load per page run — the same pages and lines
+// as the row scan), lazily materialized columns (Batch.Col charges one
+// primitive per column a kernel actually touches), and an optional
+// pushed-down predicate evaluated into the selection vector. One charge-free
+// Poll bounds cancellation latency per batch instead of per tuple.
+type Scan struct {
+	Ctx  *exec.Ctx
+	File *storage.HeapFile
+	Pred exec.Expr
+	// BatchSize overrides the L1D-derived batch width (benchmarks sweep
+	// it); 0 picks BatchSizeFor on the context machine's hierarchy.
+	BatchSize int
+
+	bs *storage.BatchScanner
+	b  *Batch
+	p  *pool
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *catalog.Schema { return s.File.Schema() }
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	n := s.BatchSize
+	if n <= 0 {
+		n = BatchSizeFor(s.Ctx.M.Profile.Mem)
+	}
+	if n > MaxBatch {
+		n = MaxBatch
+	}
+	s.bs = s.File.BatchScan(n)
+	s.b = NewBatch(s.Ctx.Arena, s.Schema(), n)
+	s.p = newPool(s.Ctx, n)
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (*Batch, error) {
+	s.Ctx.Poll()
+	rows, _, ok := s.bs.NextBatch()
+	if !ok {
+		return nil, nil
+	}
+	b := s.b
+	b.N = len(rows)
+	b.Sel = nil
+	b.SetRows(rows)
+	// One driver dispatch per batch: the scan's cursor bookkeeping and
+	// batch handoff cost one tuple's worth of interpretation overhead.
+	s.Ctx.TupleCost()
+	if s.Pred != nil {
+		s.p.reset()
+		pv := evalVec(s.Ctx, s.p, s.Pred, b)
+		applyPred(s.Ctx, pv, b)
+	}
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// Filter narrows the selection vector of each batch by a predicate.
+type Filter struct {
+	Ctx   *exec.Ctx
+	Child Operator
+	Pred  exec.Expr
+
+	p *pool
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *catalog.Schema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error {
+	f.p = newPool(f.Ctx, MaxBatch)
+	return f.Child.Open()
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (*Batch, error) {
+	b, err := f.Child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	f.Ctx.Poll()
+	f.p.reset()
+	pv := evalVec(f.Ctx, f.p, f.Pred, b)
+	applyPred(f.Ctx, pv, b)
+	return b, nil
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Prune narrows each batch to a subset of its columns. Vectors are shared
+// with the child batch — pruning moves no payload bytes, it only remaps the
+// column slots (one batch dispatch).
+type Prune struct {
+	Ctx   *exec.Ctx
+	Child Operator
+	Cols  []int
+
+	schema *catalog.Schema
+	out    Batch
+}
+
+// Schema implements Operator.
+func (p *Prune) Schema() *catalog.Schema {
+	if p.schema == nil {
+		p.schema = p.Child.Schema().Project(p.Cols)
+	}
+	return p.schema
+}
+
+// Open implements Operator.
+func (p *Prune) Open() error {
+	p.out.Cols = make([]*Vector, len(p.Cols))
+	return p.Child.Open()
+}
+
+// Next implements Operator.
+func (p *Prune) Next() (*Batch, error) {
+	b, err := p.Child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	p.Ctx.Poll()
+	p.Ctx.TupleCost()
+	p.Ctx.Compute(len(p.Cols))
+	for i, c := range p.Cols {
+		p.out.Cols[i] = b.Col(p.Ctx, c)
+	}
+	p.out.N = b.N
+	p.out.Sel = b.Sel
+	return &p.out, nil
+}
+
+// Close implements Operator.
+func (p *Prune) Close() error { return p.Child.Close() }
+
+// Project computes one kernel per output expression. Output column typing
+// mirrors the row executor's Project (anonymous float slots).
+type Project struct {
+	Ctx   *exec.Ctx
+	Child Operator
+	Exprs []exec.Expr
+	Names []string
+
+	schema *catalog.Schema
+	out    Batch
+	p      *pool
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *catalog.Schema {
+	if p.schema == nil {
+		cols := make([]catalog.Column, len(p.Exprs))
+		for i := range p.Exprs {
+			name := fmt.Sprintf("col%d", i)
+			if i < len(p.Names) && p.Names[i] != "" {
+				name = p.Names[i]
+			}
+			cols[i] = catalog.Column{Name: name, Type: value.TypeFloat, Width: 8}
+		}
+		p.schema = catalog.NewSchema(cols...)
+	}
+	return p.schema
+}
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	p.out.Cols = make([]*Vector, len(p.Exprs))
+	p.p = newPool(p.Ctx, MaxBatch)
+	return p.Child.Open()
+}
+
+// Next implements Operator.
+func (p *Project) Next() (*Batch, error) {
+	b, err := p.Child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	p.Ctx.Poll()
+	p.p.reset()
+	for i, e := range p.Exprs {
+		p.out.Cols[i] = evalVec(p.Ctx, p.p, e, b)
+	}
+	p.out.N = b.N
+	p.out.Sel = b.Sel
+	return &p.out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// aggTableBytes is the simulated size of one aggregation hash bucket
+// (matching the row executor's hash-bucket geometry).
+const aggTableBytes = 16
+
+// Agg is batch-at-a-time hash aggregation: group keys and aggregate
+// arguments are evaluated as vectors (one kernel each), then one
+// table-update primitive per batch probes and updates the simulated hash
+// table for every selected element. Accumulator arithmetic is exec.AggAcc —
+// the row GroupBy's accumulator — so results are bit-identical to the row
+// path. Groups are emitted in first-seen order, batch by batch.
+type Agg struct {
+	Ctx      *exec.Ctx
+	Child    Operator
+	GroupBy  []exec.Expr
+	Aggs     []exec.AggSpec
+	GroupCap int
+
+	schema *catalog.Schema
+	out    *Batch
+	groups []value.Row
+	pos    int
+	p      *pool
+}
+
+// Schema implements Operator (mirrors the row GroupBy's schema).
+func (g *Agg) Schema() *catalog.Schema {
+	if g.schema == nil {
+		cols := make([]catalog.Column, 0, len(g.GroupBy)+len(g.Aggs))
+		for i := range g.GroupBy {
+			cols = append(cols, catalog.Column{
+				Name: fmt.Sprintf("g%d", i), Type: value.TypeStr, Width: 16,
+			})
+		}
+		for _, a := range g.Aggs {
+			name := a.Name
+			if name == "" {
+				name = a.Kind.String()
+			}
+			cols = append(cols, catalog.Column{Name: name, Type: value.TypeFloat, Width: 8})
+		}
+		g.schema = catalog.NewSchema(cols...)
+	}
+	return g.schema
+}
+
+// Open implements Operator: drains the child and builds the groups.
+func (g *Agg) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	defer g.Child.Close()
+
+	cap := g.GroupCap
+	if cap <= 0 {
+		cap = 1024
+	}
+	tableSize := uint64(cap) * aggTableBytes * 2
+	tableBase := g.Ctx.Arena.Alloc(tableSize, memsim.PageSize)
+	h := g.Ctx.M.Hier
+	g.p = newPool(g.Ctx, MaxBatch)
+
+	type group struct {
+		keyVals []value.Value
+		states  []exec.AggAcc
+	}
+	groups := make(map[value.Key]*group)
+	var order []*group
+
+	kvs := make([]*Vector, len(g.GroupBy))
+	avs := make([]*Vector, len(g.Aggs))
+	scratch := make([]value.Value, len(g.GroupBy))
+	for {
+		b, err := g.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		g.Ctx.Poll()
+		g.p.reset()
+		for i, e := range g.GroupBy {
+			kvs[i] = evalVec(g.Ctx, g.p, e, b)
+		}
+		for i, a := range g.Aggs {
+			if a.Arg != nil {
+				avs[i] = evalVec(g.Ctx, g.p, a.Arg, b)
+			} else {
+				avs[i] = nil
+			}
+		}
+		n := b.Len()
+		// One table-update primitive for the whole batch: the probe
+		// loads, accumulator stores and update arithmetic for n
+		// elements, dispatched once.
+		g.Ctx.TupleCost()
+		if n > 0 {
+			h.LoadRepeat(tableBase, uint64(2*n))
+			h.StoreRepeat(tableBase+aggTableBytes, uint64(n))
+			h.Exec(uint64(n*(2+len(g.Aggs))), memsim.InstrAdd)
+		}
+		for k := 0; k < n; k++ {
+			i := b.Pos(k)
+			for j, kv := range kvs {
+				scratch[j] = kv.Get(i)
+			}
+			key := value.MakeKey(scratch...)
+			grp, found := groups[key]
+			if !found {
+				grp = &group{
+					keyVals: append([]value.Value(nil), scratch...),
+					states:  make([]exec.AggAcc, len(g.Aggs)),
+				}
+				groups[key] = grp
+				order = append(order, grp)
+			}
+			for j := range g.Aggs {
+				v := value.Int(1)
+				if avs[j] != nil {
+					v = avs[j].Get(i)
+				}
+				grp.states[j].UpdateKind(g.Aggs[j].Kind, v)
+			}
+		}
+	}
+
+	g.groups = make([]value.Row, len(order))
+	for i, grp := range order {
+		out := make(value.Row, 0, len(grp.keyVals)+len(g.Aggs))
+		out = append(out, grp.keyVals...)
+		for k, a := range g.Aggs {
+			out = append(out, grp.states[k].Result(a.Kind))
+		}
+		g.groups[i] = out
+	}
+	g.pos = 0
+	g.out = NewBatch(g.Ctx.Arena, g.Schema(), BatchSizeFor(g.Ctx.M.Profile.Mem))
+	return nil
+}
+
+// Next implements Operator: emits the next batch of groups, one
+// materialization primitive per column.
+func (g *Agg) Next() (*Batch, error) {
+	if g.pos >= len(g.groups) {
+		return nil, nil
+	}
+	g.Ctx.Poll()
+	n := g.out.Cap()
+	if rem := len(g.groups) - g.pos; rem < n {
+		n = rem
+	}
+	h := g.Ctx.M.Hier
+	for j, v := range g.out.Cols {
+		g.Ctx.TupleCost()
+		for i := 0; i < n; i++ {
+			v.Set(i, g.groups[g.pos+i][j])
+		}
+		h.Exec(uint64(n), memsim.InstrAdd)
+		h.StoreRepeat(v.addr, uint64(n)*KernelStoresPerVal)
+	}
+	g.pos += n
+	g.out.N = n
+	g.out.Sel = nil
+	return g.out, nil
+}
+
+// Close implements Operator.
+func (g *Agg) Close() error {
+	g.groups = nil
+	return nil
+}
+
+// RowSource adapts a vectorized chain back to the row Operator interface so
+// it can sit under row-at-a-time parents (sorts, joins, the drain loop). The
+// adapter itself is charge-free: all simulated traffic happens inside the
+// vectorized operators it pulls from.
+type RowSource struct {
+	Child Operator
+
+	b   *Batch
+	k   int
+	out value.Row
+}
+
+// Schema implements exec.Operator.
+func (r *RowSource) Schema() *catalog.Schema { return r.Child.Schema() }
+
+// Open implements exec.Operator.
+func (r *RowSource) Open() error {
+	r.b, r.k = nil, 0
+	r.out = make(value.Row, len(r.Child.Schema().Columns))
+	return r.Child.Open()
+}
+
+// Next implements exec.Operator. The returned row is reused; buffering
+// parents clone it, per the Operator contract.
+func (r *RowSource) Next() (value.Row, bool, error) {
+	for {
+		if r.b != nil && r.k < r.b.Len() {
+			r.b.Row(r.k, r.out)
+			r.k++
+			return r.out, true, nil
+		}
+		b, err := r.Child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		r.b, r.k = b, 0
+	}
+}
+
+// Close implements exec.Operator.
+func (r *RowSource) Close() error { return r.Child.Close() }
+
+// Metered wraps a vectorized operator with the same exclusive-counter
+// attribution as exec.Metered wraps row operators: one shared
+// exec.MeterSet can meter a mixed row/vector plan and the per-operator
+// counters still partition the statement's counter delta exactly.
+type Metered struct {
+	Set   *exec.MeterSet
+	Child Operator
+	M     *exec.Meter
+}
+
+// Schema implements Operator.
+func (m *Metered) Schema() *catalog.Schema { return m.Child.Schema() }
+
+// Open implements Operator.
+func (m *Metered) Open() error {
+	m.Set.Enter(m.M)
+	defer m.Set.Exit(m.M)
+	return m.Child.Open()
+}
+
+// Next implements Operator.
+func (m *Metered) Next() (*Batch, error) {
+	m.Set.Enter(m.M)
+	defer m.Set.Exit(m.M)
+	b, err := m.Child.Next()
+	if b != nil {
+		m.M.AddRows(b.Len())
+	}
+	return b, err
+}
+
+// Close implements Operator.
+func (m *Metered) Close() error {
+	m.Set.Enter(m.M)
+	defer m.Set.Exit(m.M)
+	return m.Child.Close()
+}

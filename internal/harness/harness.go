@@ -105,6 +105,7 @@ func Experiments() []Experiment {
 		{"X4", "Extension: update-statement breakdown (the write path deferred in Section 2.3)", RunExtensionWrites},
 		{"X5", "Extension: customized-CPU architecture sweep via trace replay (Section 4.1 design space)", RunExtensionArchSweep},
 		{"X6", "Extension: energy-aware logical-plan optimizer accuracy (predicted vs measured E_active)", RunExtensionOptimizer},
+		{"X7", "Extension: vectorized execution and the L1D bottleneck (share with/without vectorization)", RunExtensionVector},
 	}
 }
 

@@ -24,7 +24,7 @@ func skipIfShort(t *testing.T) {
 }
 
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6"}
+	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6", "X7"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
@@ -248,6 +248,19 @@ func TestExtensionOptimizerQuick(t *testing.T) {
 	for _, s := range []string{"Q1", "Q6", "prediction within", "avg L1D+Reg2L1D share by engine"} {
 		if !strings.Contains(res.Text, s) {
 			t.Errorf("X6 missing %q:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestExtensionVectorQuick(t *testing.T) {
+	skipIfShort(t)
+	res, err := RunExtensionVector(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Q1", "Q6", "vector operator", "measured delta"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X7 missing %q:\n%s", s, res.Text)
 		}
 	}
 }

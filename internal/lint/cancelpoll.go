@@ -8,13 +8,25 @@ import (
 // AnalyzerCancelPoll enforces the executor's cooperative-cancellation
 // contract (internal/db/exec): statement timeouts only work if every loop
 // that touches an unbounded number of tuples polls the cancellation flag —
-// by charging Ctx.TupleCost, or via the charge-free Ctx.Poll checkpoint.
+// by charging Ctx.TupleCost, via the charge-free Ctx.Poll checkpoint, or
+// via the strided Ctx.PollEvery variant for loops over materialized
+// buffers.
 // A loop that pulls from a child Operator inherits the child's polling; a
-// loop that drives a raw cursor (storage scanner, btree iterator), ranges
-// over a materialized row slice, or a comparator passed to sort.Slice /
-// sort.SliceStable / sort.Sort must poll itself. Sort.Open's key-extraction
-// loop and sort comparator were exactly this bug: a statement timeout could
-// not cancel the sort phase (fixed in this PR).
+// loop that drives a raw cursor (storage scanner, btree iterator, batch
+// scanner), ranges over a materialized row slice, or a comparator passed to
+// sort.Slice / sort.SliceStable / sort.Sort must poll itself. Sort.Open's
+// key-extraction loop and sort comparator were exactly this bug: a statement
+// timeout could not cancel the sort phase (fixed in this PR).
+//
+// The vectorized executor (internal/db/vec) polls at batch granularity
+// instead of per tuple: its Operator exchanges batches, and each batch is
+// bounded by the L1D-derived batch width. The analyzer recognizes both
+// shapes — a loop pulling from any Operator interface (row or batch
+// variant) inherits the child's polling, and a loop ranging over the rows
+// of one batch (a slice produced by a NextBatch cursor call) is accepted
+// when the enclosing function charges Poll or TupleCost per batch. A batch
+// loop in a function that never polls is still a finding: that is an
+// uncancellable vectorized kernel.
 //
 // The analyzer only runs in packages that reference the executor Ctx type
 // (one with a TupleCost method), so row rendering in the shell or wire
@@ -31,10 +43,10 @@ func runCancelPoll(pass *Pass) {
 	if !pkgReferencesCtx(pass) {
 		return
 	}
-	operator := findOperatorInterface(pass)
+	operators := findOperatorInterfaces(pass)
 	for _, file := range pass.Pkg.Files {
 		for _, fn := range funcScopes(file) {
-			scanCancelScope(pass, fn, operator)
+			scanCancelScope(pass, fn, operators)
 		}
 	}
 }
@@ -75,9 +87,12 @@ func hasMethod(t types.Type, name string) bool {
 	return false
 }
 
-// findOperatorInterface locates the Volcano Operator interface: a type
-// named Operator declared in this package or any direct import.
-func findOperatorInterface(pass *Pass) *types.Interface {
+// findOperatorInterfaces locates every Volcano Operator interface in scope:
+// types named Operator declared in this package or any direct import. The
+// row executor and the vectorized executor each declare one (with different
+// Next signatures); a mixed-mode package — the planner instantiates both —
+// delegates polling through either.
+func findOperatorInterfaces(pass *Pass) []*types.Interface {
 	lookup := func(p *types.Package) *types.Interface {
 		obj := p.Scope().Lookup("Operator")
 		if obj == nil {
@@ -89,26 +104,29 @@ func findOperatorInterface(pass *Pass) *types.Interface {
 		}
 		return iface
 	}
+	var out []*types.Interface
 	if iface := lookup(pass.Pkg.Types); iface != nil {
-		return iface
+		out = append(out, iface)
 	}
 	for _, imp := range pass.Pkg.Types.Imports() {
 		if iface := lookup(imp); iface != nil {
-			return iface
+			out = append(out, iface)
 		}
 	}
-	return nil
+	return out
 }
 
 // scanCancelScope inspects one function body for unpolled tuple loops and
 // unpolled sort comparators.
-func scanCancelScope(pass *Pass, fn funcScope, operator *types.Interface) {
+func scanCancelScope(pass *Pass, fn funcScope, operators []*types.Interface) {
+	batchVars := collectBatchVars(pass, fn)
+	fnPolls := scopePolls(fn)
 	inspectShallow(fn.body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ForStmt:
-			checkTupleLoop(pass, n, n.Body, nil, n.Cond, operator)
+			checkTupleLoop(pass, n, n.Body, nil, n.Cond, operators, batchVars, fnPolls)
 		case *ast.RangeStmt:
-			checkTupleLoop(pass, n, n.Body, n.X, nil, operator)
+			checkTupleLoop(pass, n, n.Body, n.X, nil, operators, batchVars, fnPolls)
 		case *ast.CallExpr:
 			checkSortComparator(pass, n)
 		}
@@ -116,9 +134,64 @@ func scanCancelScope(pass *Pass, fn funcScope, operator *types.Interface) {
 	})
 }
 
+// collectBatchVars gathers the variables in this scope assigned from a
+// NextBatch call — row slices bounded by one batch of the vectorized
+// executor.
+func collectBatchVars(pass *Pass, fn funcScope) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NextBatch" {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.Pkg.Info.ObjectOf(id); obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// scopePolls reports whether the scope contains any cancellation
+// checkpoint at all (used to accept batch-bounded loops whose poll sits at
+// batch granularity, outside the inner materialization loop).
+func scopePolls(fn funcScope) bool {
+	polls := false
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if s, ok := c.Fun.(*ast.SelectorExpr); ok && isPollName(s.Sel.Name) {
+				polls = true
+			}
+		}
+		return true
+	})
+	return polls
+}
+
+// isPollName reports whether a method name is one of the executor's
+// cancellation checkpoints: the charged per-tuple TupleCost, the free
+// per-tuple Poll, or the strided PollEvery used in loops over materialized
+// buffers.
+func isPollName(name string) bool {
+	return name == "TupleCost" || name == "Poll" || name == "PollEvery"
+}
+
 // checkTupleLoop classifies one loop and reports it when it iterates
 // tuples without polling and without delegating to a polling child.
-func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond ast.Expr, operator *types.Interface) {
+func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond ast.Expr,
+	operators []*types.Interface, batchVars map[types.Object]bool, fnPolls bool) {
 	polled, delegated, cursor := false, false, false
 	scan := func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -130,11 +203,11 @@ func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond
 			return true
 		}
 		switch sel.Sel.Name {
-		case "TupleCost", "Poll":
+		case "TupleCost", "Poll", "PollEvery":
 			polled = true
-		case "Next", "Valid":
+		case "Next", "Valid", "NextBatch":
 			recvT := pass.TypeOf(sel.X)
-			if recvT != nil && operator != nil && implementsOperator(recvT, operator) {
+			if recvT != nil && implementsAnyOperator(recvT, operators) {
 				delegated = true
 			} else if recvT != nil {
 				cursor = true
@@ -155,6 +228,18 @@ func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond
 		if !rangeOverRows(pass, rangeX) {
 			return
 		}
+		// One batch of the vectorized executor is bounded by the batch
+		// width; polling at batch granularity — anywhere in the enclosing
+		// scope, which runs once per batch — bounds the uncancellable
+		// stretch to a single batch.
+		if isBatchVar(pass, rangeX, batchVars) {
+			if fnPolls {
+				return
+			}
+			pass.Reportf(loop.Pos(),
+				"batch loop never polls cancellation: charge Ctx.TupleCost or Ctx.Poll once per batch in the enclosing scope, or waive with //lint:nopoll")
+			return
+		}
 	}
 	if !cursor && rangeX == nil {
 		return
@@ -163,16 +248,31 @@ func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond
 		"tuple loop never polls cancellation: call Ctx.TupleCost (charged) or Ctx.Poll (free) per tuple, or waive a bounded loop with //lint:nopoll")
 }
 
-// implementsOperator reports whether t (or *t) satisfies the Operator
-// interface.
-func implementsOperator(t types.Type, operator *types.Interface) bool {
-	if types.Implements(t, operator) {
-		return true
-	}
-	if _, isPtr := t.(*types.Pointer); !isPtr {
-		return types.Implements(types.NewPointer(t), operator)
+// implementsAnyOperator reports whether t (or *t) satisfies one of the
+// Operator interfaces in scope.
+func implementsAnyOperator(t types.Type, operators []*types.Interface) bool {
+	for _, iface := range operators {
+		if types.Implements(t, iface) {
+			return true
+		}
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
 	}
 	return false
+}
+
+// isBatchVar reports whether the ranged expression is a variable assigned
+// from a NextBatch call in this scope.
+func isBatchVar(pass *Pass, x ast.Expr, batchVars map[types.Object]bool) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.ObjectOf(id)
+	return obj != nil && batchVars[obj]
 }
 
 // rangeOverRows reports whether the ranged expression is a slice/array of
@@ -229,10 +329,8 @@ func checkSortComparator(pass *Pass, call *ast.CallExpr) {
 		polled := false
 		ast.Inspect(lit.Body, func(n ast.Node) bool {
 			if c, ok := n.(*ast.CallExpr); ok {
-				if s, ok := c.Fun.(*ast.SelectorExpr); ok {
-					if s.Sel.Name == "TupleCost" || s.Sel.Name == "Poll" {
-						polled = true
-					}
+				if s, ok := c.Fun.(*ast.SelectorExpr); ok && isPollName(s.Sel.Name) {
+					polled = true
 				}
 			}
 			return true

@@ -1,0 +1,36 @@
+// Package driver mixes both executor modes the way the planner does: one
+// scope can pull rows from the row Operator and batches from the
+// vectorized Operator. Delegation must work through either interface — the
+// analyzer collects every Operator in scope, not just the first one found.
+package driver
+
+import (
+	exec "fixture.example/cancelpoll"
+	"fixture.example/cancelpoll/vec"
+)
+
+// drainRows pulls from the row Operator: accepted, the child polls per
+// tuple.
+func drainRows(ctx *exec.Ctx, op exec.Operator) (int, error) {
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil || !ok {
+			return n, err
+		}
+		n++
+	}
+}
+
+// drainBatches pulls from the vectorized Operator: accepted, the child
+// polls per batch.
+func drainBatches(ctx *exec.Ctx, op vec.Operator) (int, error) {
+	n := 0
+	for {
+		b, err := op.Next()
+		if err != nil || b == nil {
+			return n, err
+		}
+		n += len(b.Rows)
+	}
+}

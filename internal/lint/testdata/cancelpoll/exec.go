@@ -20,6 +20,9 @@ func (c *Ctx) TupleCost() {}
 // Poll is the charge-free checkpoint.
 func (c *Ctx) Poll() {}
 
+// PollEvery is the strided checkpoint for loops over materialized buffers.
+func (c *Ctx) PollEvery(i int) {}
+
 // Operator is the Volcano interface; loops pulling from an Operator
 // inherit the child's polling.
 type Operator interface {
@@ -73,6 +76,17 @@ func materializePolled(ctx *Ctx, rows []Row) int {
 	n := 0
 	for range rows {
 		ctx.Poll()
+		n++
+	}
+	return n
+}
+
+// materializeStrided is the other accepted shape: the strided checkpoint,
+// which reads the cancel flag only every few hundred elements.
+func materializeStrided(ctx *Ctx, rows []Row) int {
+	n := 0
+	for i := range rows {
+		ctx.PollEvery(i)
 		n++
 	}
 	return n
