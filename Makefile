@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck vulncheck race check bench fuzz smoke
+.PHONY: all build test vet lint staticcheck vulncheck race check bench bench-txn fuzz smoke
 
 all: build
 
@@ -63,6 +63,17 @@ smoke:
 bench:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput -benchtime 2s ./internal/server/
 	$(GO) test -run xxx -bench BenchmarkVectorThroughput -benchtime 1s ./internal/db/vec/
+
+# Mixed reader/writer slice of the server matrix only: 16 sessions over 4
+# workers with 2/8/16 of them running explicit update transactions. This
+# is the CI smoke for the MVCC transaction path — it drives BEGIN/COMMIT
+# frames, write-write conflict machinery, and WAL group commit end to end,
+# and refreshes just those cells of BENCH_server.json. BENCHTIME is
+# overridable so CI can keep it short.
+BENCHTIME ?= 1s
+
+bench-txn:
+	$(GO) test -run xxx -bench 'BenchmarkServerThroughput/mixed' -benchtime $(BENCHTIME) ./internal/server/
 
 # Short fuzz pass over every fuzz target: the SQL parser (raw client text),
 # the planner pipeline (parse → optimize → build → execute), the row-versus-

@@ -32,6 +32,7 @@ import (
 	"energydb/internal/db/exec"
 	"energydb/internal/db/plan"
 	"energydb/internal/db/sql"
+	"energydb/internal/db/txn"
 	"energydb/internal/db/value"
 	"energydb/internal/mubench"
 	"energydb/internal/obs"
@@ -77,12 +78,12 @@ func main() {
 	} else if err := sh.setupLocal(); err != nil {
 		fatal(err)
 	}
-	fmt.Println(`Ready. End statements with a newline; EXPLAIN [ENERGY] <select> shows the optimizer's plan (ENERGY: measured per-operator attribution); \tables lists tables; \connect <addr> goes remote; \stats shows server observability (remote); \quit exits.`)
+	fmt.Println(`Ready. End statements with a newline; EXPLAIN [ENERGY] <select> shows the optimizer's plan (ENERGY: measured per-operator attribution); INSERT/UPDATE/DELETE write under snapshot isolation; \begin \commit \rollback (or SQL BEGIN/COMMIT/ROLLBACK) control transactions; \tables lists tables; \connect <addr> goes remote; \stats shows server observability (remote); \quit exits.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
-		fmt.Print("> ")
+		fmt.Print(sh.prompt())
 		if !in.Scan() {
 			break
 		}
@@ -109,9 +110,23 @@ type shell struct {
 	// Local mode (lazily built).
 	eng  *engine.Engine
 	prof *core.Profiler
+	// tx is the open explicit transaction in local mode (nil: autocommit).
+	tx *txn.Txn
 
 	// Remote mode.
 	remote *client.Conn
+}
+
+// prompt marks an open transaction, locally or on the remote session.
+func (sh *shell) prompt() string {
+	inTxn := sh.tx != nil
+	if sh.remote != nil {
+		_, inTxn = sh.remote.InTxn()
+	}
+	if inTxn {
+		return "(txn)> "
+	}
+	return "> "
 }
 
 // dispatch handles one input line; it returns false when the shell should
@@ -149,6 +164,29 @@ func (sh *shell) dispatch(line string) bool {
 		return true
 	case line == `\stats`:
 		sh.stats()
+		return true
+	case line == `\begin`:
+		sh.txnCmd(wire.TxnBegin)
+		return true
+	case line == `\commit`:
+		sh.txnCmd(wire.TxnCommit)
+		return true
+	case line == `\rollback`:
+		sh.txnCmd(wire.TxnRollback)
+		return true
+	}
+	// SQL-spelled transaction controls route through the same handler as
+	// the meta commands, so the remote session's txn state (and the
+	// prompt) stays in sync.
+	switch strings.ToUpper(strings.TrimRight(strings.TrimSuffix(line, ";"), " ")) {
+	case "BEGIN", "BEGIN TRANSACTION":
+		sh.txnCmd(wire.TxnBegin)
+		return true
+	case "COMMIT", "COMMIT WORK":
+		sh.txnCmd(wire.TxnCommit)
+		return true
+	case "ROLLBACK", "ROLLBACK WORK":
+		sh.txnCmd(wire.TxnRollback)
 		return true
 	}
 	if sh.remote != nil {
@@ -222,6 +260,79 @@ func (sh *shell) remoteQuery(line string) {
 	printRemoteBreakdown(res.Energy)
 }
 
+// txnCmd runs one transaction control, against the remote session or the
+// local engine. Commit fsyncs the WAL and rollback walks the undo chain, so
+// the local path prints their energy breakdown like any statement.
+func (sh *shell) txnCmd(op wire.TxnOp) {
+	if sh.remote != nil {
+		var err error
+		switch op {
+		case wire.TxnBegin:
+			var id uint64
+			if id, err = sh.remote.Begin(); err == nil {
+				fmt.Printf("BEGIN (txn %d)\n", id)
+			}
+		case wire.TxnCommit:
+			if err = sh.remote.Commit(); err == nil {
+				fmt.Println("COMMIT")
+			}
+		case wire.TxnRollback:
+			if err = sh.remote.Rollback(); err == nil {
+				fmt.Println("ROLLBACK")
+			}
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+		return
+	}
+	if err := sh.setupLocal(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	switch op {
+	case wire.TxnBegin:
+		if sh.tx != nil {
+			fmt.Printf("error: transaction %d already open\n", sh.tx.ID())
+			return
+		}
+		sh.tx = sh.eng.Begin()
+		fmt.Printf("BEGIN (txn %d)\n", sh.tx.ID())
+	case wire.TxnCommit, wire.TxnRollback:
+		if sh.tx == nil {
+			fmt.Println("error: no transaction open")
+			return
+		}
+		t := sh.tx
+		sh.tx = nil
+		sh.eng.Bind(t)
+		var err error
+		b := sh.prof.Profile(strings.ToLower(op.String()), func() {
+			if op == wire.TxnCommit {
+				err = sh.eng.Commit(t)
+			} else {
+				err = sh.eng.Rollback(t)
+			}
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(op.String())
+		printBreakdown(b)
+	}
+}
+
+// bind establishes the statement snapshot on the local engine: the open
+// transaction's pinned one, or a fresh read snapshot.
+func (sh *shell) bind() {
+	if sh.tx != nil {
+		sh.eng.Bind(sh.tx)
+	} else {
+		sh.eng.Unbind()
+	}
+}
+
 // localTPCH runs \q<N> against the local engine with the energy breakdown.
 func (sh *shell) localTPCH(line string) {
 	var id int
@@ -238,6 +349,7 @@ func (sh *shell) localTPCH(line string) {
 		fmt.Println("error:", err)
 		return
 	}
+	sh.bind()
 	plan, err := q.Build(sh.eng)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -268,6 +380,31 @@ func (sh *shell) localSQL(line string) {
 		fmt.Println("error:", err)
 		return
 	}
+	sh.bind()
+	switch stmt.(type) {
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		var n int
+		var runErr error
+		b := sh.prof.Profile("dml", func() { n, runErr = plan.ExecWrite(sh.eng, sh.tx, stmt) })
+		if runErr != nil {
+			// A failed statement may have left writes in the open
+			// transaction; roll the whole transaction back rather than
+			// let a later commit publish a torn statement.
+			if sh.tx != nil {
+				t := sh.tx
+				sh.tx = nil
+				sh.eng.Bind(t)
+				sh.eng.Rollback(t)
+				fmt.Printf("error: %v %s\n", runErr, wire.TxnRolledBackSuffix)
+				return
+			}
+			fmt.Println("error:", runErr)
+			return
+		}
+		fmt.Printf("%d rows affected\n", n)
+		printBreakdown(b)
+		return
+	}
 	if ex, ok := stmt.(*sql.ExplainStmt); ok {
 		p, err := plan.Prepare(sh.eng, ex.Select)
 		if err != nil {
@@ -292,7 +429,12 @@ func (sh *shell) localSQL(line string) {
 		printBreakdown(b)
 		return
 	}
-	op, err := plan.Plan(sh.eng, stmt.(*sql.SelectStmt))
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		fmt.Printf("error: unsupported statement %T\n", stmt)
+		return
+	}
+	op, err := plan.Plan(sh.eng, sel)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -328,6 +470,8 @@ func (sh *shell) stats() {
 		s.Banner, s.Workers, s.Sessions, strings.Join(s.Engines, ", "))
 	fmt.Printf("totals: %d queries, Eactive=%.4gJ Ebusy=%.4gJ Ebackground=%.4gJ over %.4gs sim time, L1D share %.1f%%\n",
 		s.Queries, s.EActiveJ, s.EBusyJ, s.EBackgroundJ, s.Seconds, s.L1DShare*100)
+	fmt.Printf("txns: %d active, %d started, %d committed, %d aborted\n",
+		s.TxnsActive, s.TxnsStarted, s.TxnsCommitted, s.TxnsAborted)
 	fmt.Print("components:")
 	for _, c := range core.Components() {
 		fmt.Printf(" %s=%.4gJ", c, s.ComponentJoules[c.String()])

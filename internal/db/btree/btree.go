@@ -13,14 +13,27 @@
 // The node structure (keys, row ids, simulated addresses) lives in a shared
 // half; a Tree is a per-hierarchy view over it. Workers attach views of one
 // shared index with View, so all of them descend the same structure while
-// every simulated load and store drives the view's own machine. The shared
-// structure carries no internal lock: callers must hold the owning store's
-// read lock across Seek/Lookup/iteration and its write lock across
-// Insert/PlaceTopLevels — engine.Shared enforces exactly that contract.
+// every simulated load and store drives the view's own machine.
+//
+// Concurrency is copy-on-write: Insert clones every node it modifies
+// (reusing the node's simulated address, so the energy stream is identical
+// to an in-place write) and publishes a new root under the shared half's
+// internal lock. Published nodes are immutable, so a reader captures the
+// root once and traverses a consistent snapshot of the whole tree without
+// holding any lock — index scans never block behind inserts, and an
+// iterator never observes a half-applied split. Entries inserted after the
+// root capture are simply absent from that snapshot, which is exactly the
+// MVCC contract: such entries belong to concurrent transactions whose
+// versions the reader's snapshot filters out anyway.
+//
+// PlaceTopLevels is the one exception: it rewrites node addresses in place
+// and must not run concurrently with readers (it is a load-time/experiment
+// path).
 package btree
 
 import (
 	"sort"
+	"sync"
 
 	"energydb/internal/db/value"
 	"energydb/internal/memsim"
@@ -39,8 +52,10 @@ type Tree struct {
 	s *shared
 }
 
-// shared is the cross-view tree structure.
+// shared is the cross-view tree structure. mu guards root/size/height;
+// nodes reachable from a published root are immutable (copy-on-write).
 type shared struct {
+	mu     sync.RWMutex
 	arena  *memsim.Arena
 	order  int // max children per interior node / entries per leaf
 	root   *node
@@ -52,10 +67,21 @@ type node struct {
 	addr   uint64
 	leaf   bool
 	keys   []value.Value // first key component only, for ordering
-	full   []value.Row   // full composite keys (leaf only when composite)
 	kids   []*node       // interior
 	rowIDs []int         // leaf
-	next   *node         // leaf chain
+}
+
+// clone returns a mutable copy of n at the same simulated address. The
+// original stays immutable for readers holding older roots.
+func (n *node) clone() *node {
+	c := &node{addr: n.addr, leaf: n.leaf}
+	c.keys = append([]value.Value(nil), n.keys...)
+	if n.leaf {
+		c.rowIDs = append([]int(nil), n.rowIDs...)
+	} else {
+		c.kids = append([]*node(nil), n.kids...)
+	}
+	return c
 }
 
 // New creates an empty tree whose nodes fit the given page size.
@@ -72,7 +98,7 @@ func New(h *memsim.Hierarchy, arena *memsim.Arena, pageSize int) *Tree {
 
 // View returns a tree over the same shared node structure whose simulated
 // accesses drive h instead of the receiver's hierarchy. Views are cheap to
-// create and safe to use concurrently under the owning store's lock.
+// create and safe to use concurrently.
 func (t *Tree) View(h *memsim.Hierarchy) *Tree {
 	return &Tree{h: h, s: t.s}
 }
@@ -85,59 +111,86 @@ func (t *Tree) newNode(leaf bool) *node {
 	}
 }
 
+// snapshotRoot captures the current published root; everything reachable
+// from it is immutable.
+func (t *Tree) snapshotRoot() *node {
+	t.s.mu.RLock()
+	defer t.s.mu.RUnlock()
+	return t.s.root
+}
+
 // Len returns the number of entries.
-func (t *Tree) Len() int { return t.s.size }
+func (t *Tree) Len() int {
+	t.s.mu.RLock()
+	defer t.s.mu.RUnlock()
+	return t.s.size
+}
 
 // Height returns the tree height (1 = root is a leaf).
-func (t *Tree) Height() int { return t.s.height }
+func (t *Tree) Height() int {
+	t.s.mu.RLock()
+	defer t.s.mu.RUnlock()
+	return t.s.height
+}
 
 // Order returns the node fanout.
 func (t *Tree) Order() int { return t.s.order }
 
 // Insert adds (key, rowID). Keys may repeat; entries with equal keys are
-// kept in insertion order. The simulated descent and node writes are issued.
+// kept in insertion order. The simulated descent and node writes are issued
+// against the inserting view's hierarchy; structurally the insert is
+// copy-on-write (see the package comment), so concurrent readers keep a
+// consistent snapshot.
 func (t *Tree) Insert(key value.Value, rowID int) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
 	t.s.size++
-	split, sep := t.insert(t.s.root, key, rowID)
+	root, split, sep := t.insert(t.s.root, key, rowID)
 	if split != nil {
 		newRoot := t.newNode(false)
 		newRoot.keys = []value.Value{sep}
-		newRoot.kids = []*node{t.s.root, split}
-		t.s.root = newRoot
+		newRoot.kids = []*node{root, split}
+		root = newRoot
 		t.s.height++
 		t.h.StoreRange(newRoot.addr, uint64(nodeHeaderBytes+2*entryBytes))
 	}
+	t.s.root = root
 }
 
-func (t *Tree) insert(n *node, key value.Value, rowID int) (*node, value.Value) {
+// insert returns the cloned replacement for n with (key, rowID) added, plus
+// a split sibling when n overflowed.
+func (t *Tree) insert(n *node, key value.Value, rowID int) (*node, *node, value.Value) {
 	t.touchNode(n, len(n.keys))
-	if n.leaf {
-		idx := sort.Search(len(n.keys), func(i int) bool {
-			return value.Compare(n.keys[i], key) > 0
+	c := n.clone()
+	if c.leaf {
+		idx := sort.Search(len(c.keys), func(i int) bool {
+			return value.Compare(c.keys[i], key) > 0
 		})
-		n.keys = insertAt(n.keys, idx, key)
-		n.rowIDs = insertIntAt(n.rowIDs, idx, rowID)
-		t.h.StoreRange(n.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
-		if len(n.keys) <= t.s.order {
-			return nil, value.Value{}
+		c.keys = insertAt(c.keys, idx, key)
+		c.rowIDs = insertIntAt(c.rowIDs, idx, rowID)
+		t.h.StoreRange(c.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
+		if len(c.keys) <= t.s.order {
+			return c, nil, value.Value{}
 		}
-		return t.splitLeaf(n)
+		right, sep := t.splitLeaf(c)
+		return c, right, sep
 	}
-	idx := sort.Search(len(n.keys), func(i int) bool {
-		return value.Compare(n.keys[i], key) > 0
+	idx := sort.Search(len(c.keys), func(i int) bool {
+		return value.Compare(c.keys[i], key) > 0
 	})
-	child := n.kids[idx]
-	split, sep := t.insert(child, key, rowID)
+	child, split, sep := t.insert(c.kids[idx], key, rowID)
+	c.kids[idx] = child
 	if split == nil {
-		return nil, value.Value{}
+		return c, nil, value.Value{}
 	}
-	n.keys = insertAt(n.keys, idx, sep)
-	n.kids = insertNodeAt(n.kids, idx+1, split)
-	t.h.StoreRange(n.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
-	if len(n.kids) <= t.s.order {
-		return nil, value.Value{}
+	c.keys = insertAt(c.keys, idx, sep)
+	c.kids = insertNodeAt(c.kids, idx+1, split)
+	t.h.StoreRange(c.addr+uint64(nodeHeaderBytes+idx*entryBytes), entryBytes)
+	if len(c.kids) <= t.s.order {
+		return c, nil, value.Value{}
 	}
-	return t.splitInterior(n)
+	right, rsep := t.splitInterior(c)
+	return c, right, rsep
 }
 
 func (t *Tree) splitLeaf(n *node) (*node, value.Value) {
@@ -147,8 +200,6 @@ func (t *Tree) splitLeaf(n *node) (*node, value.Value) {
 	right.rowIDs = append(right.rowIDs, n.rowIDs[mid:]...)
 	n.keys = n.keys[:mid]
 	n.rowIDs = n.rowIDs[:mid]
-	right.next = n.next
-	n.next = right
 	t.h.StoreRange(right.addr, uint64(nodeHeaderBytes+len(right.keys)*entryBytes))
 	return right, right.keys[0]
 }
@@ -187,10 +238,18 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// frame is one interior level of an iterator's descent path.
+type frame struct {
+	n   *node
+	idx int
+}
+
 // Seek positions at the first entry with key >= target and returns an
-// iterator. The descent issues dependent loads at each level.
+// iterator over the tree snapshot current at the call. The descent issues
+// dependent loads at each level.
 func (t *Tree) Seek(target value.Value) *Iter {
-	n := t.s.root
+	it := &Iter{t: t}
+	n := t.snapshotRoot()
 	for !n.leaf {
 		t.touchNode(n, len(n.keys))
 		// Descend into the leftmost child that can hold target:
@@ -199,33 +258,33 @@ func (t *Tree) Seek(target value.Value) *Iter {
 		idx := sort.Search(len(n.keys), func(i int) bool {
 			return value.Compare(n.keys[i], target) >= 0
 		})
+		it.stack = append(it.stack, frame{n, idx})
 		n = n.kids[idx]
 	}
 	t.touchNode(n, len(n.keys))
-	idx := sort.Search(len(n.keys), func(i int) bool {
+	it.n = n
+	it.idx = sort.Search(len(n.keys), func(i int) bool {
 		return value.Compare(n.keys[i], target) >= 0
 	})
-	it := &Iter{t: t, n: n, idx: idx}
 	// The first >= entry may live in a later leaf.
 	for it.n != nil && it.idx >= len(it.n.keys) {
-		it.n = it.n.next
-		it.idx = 0
-		if it.n != nil {
-			t.h.Load(it.n.addr, true)
-		}
+		it.advanceLeaf()
 	}
 	return it
 }
 
-// First returns an iterator at the smallest entry.
+// First returns an iterator at the smallest entry of the current snapshot.
 func (t *Tree) First() *Iter {
-	n := t.s.root
+	it := &Iter{t: t}
+	n := t.snapshotRoot()
 	for !n.leaf {
 		t.touchNode(n, len(n.keys))
+		it.stack = append(it.stack, frame{n, 0})
 		n = n.kids[0]
 	}
 	t.touchNode(n, len(n.keys))
-	return &Iter{t: t, n: n}
+	it.n = n
+	return it
 }
 
 // Lookup returns the rowIDs of entries equal to key.
@@ -240,11 +299,14 @@ func (t *Tree) Lookup(key value.Value) []int {
 	return out
 }
 
-// Iter walks leaf entries in key order.
+// Iter walks leaf entries in key order over one immutable tree snapshot:
+// the descent path is kept as a stack, so no sibling pointers are needed
+// and a concurrent insert can never tear the traversal.
 type Iter struct {
-	t   *Tree
-	n   *node
-	idx int
+	t     *Tree
+	stack []frame
+	n     *node
+	idx   int
 }
 
 // Valid reports whether the iterator points at an entry.
@@ -258,6 +320,30 @@ func (it *Iter) Key() value.Value { return it.n.keys[it.idx] }
 // RowID returns the current row id.
 func (it *Iter) RowID() int { return it.n.rowIDs[it.idx] }
 
+// advanceLeaf moves to the next leaf in key order via the descent stack,
+// charging one dependent load for the leaf hop (the on-disk structure's
+// sibling link).
+func (it *Iter) advanceLeaf() {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		top.idx++
+		if top.idx < len(top.n.kids) {
+			n := top.n.kids[top.idx]
+			for !n.leaf {
+				it.stack = append(it.stack, frame{n, 0})
+				n = n.kids[0]
+			}
+			it.n = n
+			it.idx = 0
+			it.t.h.Load(n.addr, true)
+			return
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+	it.n = nil
+	it.idx = 0
+}
+
 // Next advances, issuing a streaming load within the leaf and a dependent
 // load when hopping to the next leaf.
 func (it *Iter) Next() {
@@ -266,10 +352,9 @@ func (it *Iter) Next() {
 		it.t.h.Load(it.n.addr+uint64(nodeHeaderBytes+it.idx*entryBytes), false)
 		return
 	}
-	it.n = it.n.next
-	it.idx = 0
-	if it.n != nil {
-		it.t.h.Load(it.n.addr, true)
+	it.advanceLeaf()
+	for it.n != nil && len(it.n.keys) == 0 {
+		it.advanceLeaf()
 	}
 }
 
@@ -277,7 +362,12 @@ func (it *Iter) Next() {
 // addresses drawn from the given allocator (a DTCM arena in the Section 4
 // co-design). It returns the number of nodes moved. Allocation stops when
 // the budget runs out; lower levels keep their ordinary addresses.
+//
+// Unlike Insert this rewrites node addresses in place: it must not run
+// concurrently with readers (it is a load-time / experiment-harness path).
 func (t *Tree) PlaceTopLevels(alloc func(size uint64) (uint64, bool)) int {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
 	moved := 0
 	levelNodes := []*node{t.s.root}
 	for len(levelNodes) > 0 {

@@ -14,37 +14,40 @@
 // Knob settings follow Table 4, scaled 1:10 alongside the dataset size
 // classes (see DESIGN.md).
 //
-// # Concurrency and locking model
+// # Concurrency and transactions
 //
 // A database instance is split in two. Shared is the table store — schemas,
-// row data (storage.TableData) and index structure (btree shared halves) —
-// and is what all workers see. Engine is a per-worker view over one Shared:
-// it binds the store to one cpusim.Machine via a private device, buffer pool
-// and executor context, so every simulated load, store and instruction cost
-// a statement issues lands on that worker's PMU counters alone — the paper's
-// Eq. 1 attribution depends on those counters advancing only for the
-// statement being measured.
+// row data (storage.TableData), index structure (btree shared halves), the
+// transaction manager and the write-ahead log — and is what all workers see.
+// Engine is a per-worker view over one Shared: it binds the store to one
+// cpusim.Machine via a private device, buffer pool and executor context, so
+// every simulated load, store and instruction cost a statement issues lands
+// on that worker's PMU counters alone — the paper's Eq. 1 attribution
+// depends on those counters advancing only for the statement being measured.
+//
+// Statements run under MVCC snapshot isolation, not a statement-scoped
+// store lock. Readers resolve versioned tuple chains against the snapshot
+// bound to their device (Device.Snap): autocommit statements take a fresh
+// snapshot per statement (BeginRead), explicit transactions keep one
+// snapshot from Begin to Commit/Rollback (repeatable reads). Writers never
+// block readers; write-write conflicts abort the second writer
+// (first-updater-wins, txn.ErrWriteConflict).
+//
+// Shared.mu is catalog-scoped only: it guards the tables map (CreateTable,
+// CreateIndex, Table lookups), never statement execution. Lock order across
+// the stack is engine (Shared.mu) → txn (Manager.commitMu) → storage
+// (TableData.mu) → btree (tree shared mu); no layer calls back up.
 //
 // An individual Engine is still NOT goroutine-safe: one worker owns it, and
-// all access to it (plan building, execution, counter/energy snapshots) must
-// stay on that worker's goroutine. Cross-worker safety comes from the store:
+// all access to it (plan building, execution, transaction binding,
+// counter/energy snapshots) must stay on that worker's goroutine. Snapshot
+// APIs (memsim.Hierarchy.Counters, perfmon.Take, rapl sessions) return
+// value copies, so snapshots taken on the owner goroutine may be diffed and
+// read anywhere afterwards.
 //
-//   - Shared.mu is a statement-scoped RWMutex. Query execution holds the
-//     read lock for the whole statement (the server layer does this);
-//     concurrent readers proceed in parallel on their own machines.
-//   - The write entry points — CreateTable, CreateIndex, Insert,
-//     UpdateWhere — take the write lock internally, so DDL/DML excludes
-//     every in-flight statement. Never call them while already holding the
-//     store lock.
-//   - Below it, storage.TableData and the btree shared halves are protected
-//     by that contract (TableData additionally carries its own RWMutex for
-//     raw row access). Lock order is always Shared.mu, then TableData.mu.
-//
-// Table and MustTable read the store without locking; call them either under
-// the statement read lock or from a context where no DDL can run. Snapshot
-// APIs (memsim.Hierarchy.Counters, perfmon.Take, rapl sessions) return value
-// copies, so snapshots taken on the owner goroutine may be diffed and read
-// anywhere afterwards.
+// DDL (CreateTable, CreateIndex, PlaceTopLevels) is assumed not to run
+// concurrently with DML on the affected table: the benchmark harnesses and
+// the server build their catalogs before serving statements.
 package engine
 
 import (
@@ -56,6 +59,7 @@ import (
 	"energydb/internal/db/catalog"
 	"energydb/internal/db/exec"
 	"energydb/internal/db/storage"
+	"energydb/internal/db/txn"
 	"energydb/internal/db/value"
 )
 
@@ -242,20 +246,31 @@ type sharedTable struct {
 	data    *storage.TableData
 	indexes map[string]*btree.Tree
 
-	// statsMu guards the cached optimizer statistics below. It is
-	// independent of the statement-scoped store lock: planning happens
-	// under Shared.RLock on many workers at once, and the first planner
-	// to need statistics computes them for everyone.
+	// statsMu guards the cached optimizer statistics below. Planning
+	// happens on many workers at once, and the first planner to need
+	// statistics computes them for everyone.
 	statsMu sync.Mutex
 	stats   *catalog.TableStats
 }
 
 // Shared is the table store of one database instance: everything that is
-// common across workers. Engines are per-worker views created with View.
-// mu is the statement-scoped lock described in the package documentation.
+// common across workers — tables, the transaction manager and the
+// write-ahead log. Engines are per-worker views created with View. mu is
+// catalog-scoped (it guards the tables map, never statement execution);
+// statement isolation comes from MVCC snapshots, per the package
+// documentation.
 type Shared struct {
 	Kind  Kind
 	Knobs Knobs
+
+	// Txns hands out snapshots and transaction IDs and drives
+	// commit/abort of the version stamps.
+	Txns *txn.Manager
+	// Wal is the instance-wide write-ahead log. All sessions append to
+	// the one log (as real engines do); each append/fsync is charged to
+	// the calling worker's device so per-session energy attribution
+	// stays exact.
+	Wal *storage.WAL
 
 	mu     sync.RWMutex
 	tables map[string]*sharedTable
@@ -266,24 +281,11 @@ func NewShared(kind Kind, setting Setting) *Shared {
 	return &Shared{
 		Kind:   kind,
 		Knobs:  KnobsFor(kind, setting),
+		Txns:   txn.NewManager(),
+		Wal:    storage.NewWAL(),
 		tables: make(map[string]*sharedTable),
 	}
 }
-
-// RLock takes the statement-scoped read lock. Query execution holds it for
-// the whole statement so DDL/DML cannot shift data under a running scan.
-func (sh *Shared) RLock() { sh.mu.RLock() }
-
-// RUnlock releases the statement-scoped read lock.
-func (sh *Shared) RUnlock() { sh.mu.RUnlock() }
-
-// Lock takes the store write lock (DDL/DML exclusion). The engine write
-// entry points take it themselves; explicit use is for multi-statement
-// critical sections.
-func (sh *Shared) Lock() { sh.mu.Lock() }
-
-// Unlock releases the store write lock.
-func (sh *Shared) Unlock() { sh.mu.Unlock() }
 
 // TableCount returns the number of tables in the store.
 func (sh *Shared) TableCount() int {
@@ -305,7 +307,11 @@ type Engine struct {
 
 	shared *Shared
 	tables map[string]*Table // per-view table cache
-	wal    *storage.WAL
+
+	// tx is the explicit transaction bound to this worker, nil in
+	// autocommit mode. While bound, the device snapshot is pinned to the
+	// transaction's snapshot (repeatable reads + read-own-writes).
+	tx *txn.Txn
 }
 
 // arenaBytes is the per-engine simulated address space (buffers, indexes,
@@ -321,7 +327,8 @@ func New(kind Kind, m *cpusim.Machine, setting Setting) *Engine {
 
 // View creates an engine over this store bound to machine m. The view owns a
 // fresh device, buffer pool and executor context, so its simulated accesses
-// drive m alone; table data and index structure stay shared.
+// drive m alone; table data, index structure, transactions and the log stay
+// shared.
 func (sh *Shared) View(m *cpusim.Machine) *Engine {
 	dev := storage.NewDevice(m, arenaBytes)
 	pool := storage.NewBufferPool(dev, sh.Knobs.BufferBytes, sh.Knobs.PageBytes)
@@ -340,9 +347,70 @@ func (sh *Shared) View(m *cpusim.Machine) *Engine {
 // Shared returns the table store behind this engine.
 func (e *Engine) Shared() *Shared { return e.shared }
 
-// CreateTable registers a table, taking the store write lock. MySQL's
-// profile organizes rows under the clustered primary index; the others use
-// plain heap files (SQLite's B-tree tables scan sequentially in rowid order,
+// Begin opens an explicit transaction and binds it to this worker: until
+// Commit or Rollback, every statement run through the engine reads the
+// transaction's snapshot and writes under its ID.
+func (e *Engine) Begin() *txn.Txn {
+	t := e.shared.Txns.Begin()
+	e.Bind(t)
+	return t
+}
+
+// Bind pins the worker to an existing transaction (the server re-binds a
+// session's transaction to its worker on every statement).
+func (e *Engine) Bind(t *txn.Txn) {
+	e.tx = t
+	e.Dev.Snap = t.Snap()
+}
+
+// Unbind returns the worker to autocommit mode with a fresh read snapshot.
+func (e *Engine) Unbind() {
+	e.tx = nil
+	e.Dev.Snap = e.shared.Txns.ReadSnap()
+}
+
+// Txn returns the transaction bound to this worker, nil in autocommit mode.
+func (e *Engine) Txn() *txn.Txn { return e.tx }
+
+// BeginRead establishes the snapshot for one read statement: autocommit
+// statements see everything committed so far; inside an explicit
+// transaction the snapshot stays pinned (repeatable reads). Call it before
+// planning/running each statement.
+func (e *Engine) BeginRead() {
+	if e.tx == nil {
+		e.Dev.Snap = e.shared.Txns.ReadSnap()
+	}
+}
+
+// Commit makes t's writes durable and visible: the WAL commit record is
+// appended and fsynced (group commit) on this worker's device, then the
+// version stamps publish. Read-only transactions skip the log entirely.
+func (e *Engine) Commit(t *txn.Txn) error {
+	if t.Writes() > 0 {
+		e.shared.Wal.Commit(e.Dev, t.ID())
+	}
+	_, err := e.shared.Txns.Commit(t)
+	e.Unbind()
+	return err
+}
+
+// Rollback aborts t, unwinding its version-chain writes in reverse order.
+// The undo walk and the WAL abort record are charged to this worker, so
+// throwing work away costs energy in proportion to the work.
+func (e *Engine) Rollback(t *txn.Txn) error {
+	n := t.Writes()
+	err := e.shared.Txns.Abort(t)
+	if n > 0 {
+		e.Dev.ChargeUndo(n)
+		e.shared.Wal.Abort(e.Dev, t.ID())
+	}
+	e.Unbind()
+	return err
+}
+
+// CreateTable registers a table, taking the catalog lock. MySQL's profile
+// organizes rows under the clustered primary index; the others use plain
+// heap files (SQLite's B-tree tables scan sequentially in rowid order,
 // which the heap file reproduces).
 func (e *Engine) CreateTable(name string, schema *catalog.Schema) *Table {
 	sh := e.shared
@@ -380,15 +448,21 @@ func (e *Engine) viewTable(st *sharedTable) *Table {
 }
 
 // Table fetches this engine's view of a table by name, building it on first
-// use (and rebuilding when indexes were added through another view). Call it
-// under the statement read lock, or from a context where no DDL can run.
+// use (and rebuilding when indexes were added through another view).
 func (e *Engine) Table(name string) (*Table, error) {
-	st, ok := e.shared.tables[name]
+	sh := e.shared
+	sh.mu.RLock()
+	st, ok := sh.tables[name]
+	var nIdx int
+	if ok {
+		nIdx = len(st.indexes)
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: no table %q", name)
 	}
 	t, ok := e.tables[name]
-	if !ok || len(t.Indexes) != len(st.indexes) {
+	if !ok || len(t.Indexes) != nIdx {
 		t = e.viewTable(st)
 		e.tables[name] = t
 	}
@@ -407,11 +481,11 @@ func (e *Engine) MustTable(name string) *Table {
 // Tables returns the number of tables in the store.
 func (e *Engine) Tables() int { return e.shared.TableCount() }
 
-// Insert appends a row, taking the store write lock.
+// Insert bulk-loads a row outside any transaction (visible to every
+// snapshot, no logging) — the TPC-H loader and test-fixture path. The
+// storage and btree layers carry their own locks, so concurrent readers
+// are safe; transactional inserts go through InsertTxn.
 func (e *Engine) Insert(t *Table, row value.Row) {
-	sh := e.shared
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	id := t.File.Append(row)
 	for col, idx := range t.Indexes {
 		ci := t.schema.MustColIndex(col)
@@ -419,32 +493,56 @@ func (e *Engine) Insert(t *Table, row value.Row) {
 	}
 }
 
-// CreateIndex builds a secondary index on one column, inserting existing
-// rows. It takes the store write lock; the index becomes visible to every
-// view of the store.
-func (e *Engine) CreateIndex(t *Table, col string) *btree.Tree {
-	sh := e.shared
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ci := t.schema.MustColIndex(col)
-	tree := btree.New(e.M.Hier, e.Dev.Arena, e.Knobs.PageBytes)
-	for i := 0; i < t.File.RowCount(); i++ {
-		row, err := t.File.ReadRow(i, true)
-		if err != nil {
-			panic(err)
-		}
-		tree.Insert(row[ci], i)
+// InsertTxn appends a row under transaction tx: the new version is
+// invisible to other snapshots until commit, and the insert is logged for
+// replay. Index entries are published immediately (as in PostgreSQL);
+// readers filter them through the heap visibility check.
+func (e *Engine) InsertTxn(tx *txn.Txn, t *Table, row value.Row) int {
+	e.Bind(tx)
+	id := t.File.InsertTxn(tx, row)
+	e.shared.Wal.Append(e.Dev, storage.LogRecord{
+		Kind: storage.RecInsert, Txn: tx.ID(), Table: t.Name, Row: id, Data: row.Clone(),
+	}, t.schema.RowWidth())
+	for col, idx := range t.Indexes {
+		ci := t.schema.MustColIndex(col)
+		idx.Insert(row[ci], id)
 	}
-	t.Indexes[col] = tree
-	if st, ok := sh.tables[t.Name]; ok {
-		st.indexes[col] = tree
-	}
-	return tree
+	return id
 }
 
 // Scan builds a sequential scan with an optional pushed-down filter.
 func (e *Engine) Scan(t *Table, filter exec.Expr) exec.Operator {
 	return &exec.SeqScan{Ctx: e.Ctx, File: t.File, Filter: filter}
+}
+
+// CreateIndex builds a secondary index on one column over the latest
+// committed data, taking the catalog lock for the registration. It must not
+// run concurrently with DML on the table (see the package documentation).
+func (e *Engine) CreateIndex(t *Table, col string) *btree.Tree {
+	ci := t.schema.MustColIndex(col)
+	tree := btree.New(e.M.Hier, e.Dev.Arena, e.Knobs.PageBytes)
+	prev := e.Dev.Snap
+	e.Dev.Snap = txn.Latest()
+	for i := 0; i < t.File.RowCount(); i++ {
+		row, visible, err := t.File.ReadRow(i, true)
+		if err != nil {
+			e.Dev.Snap = prev
+			panic(err)
+		}
+		if !visible {
+			continue
+		}
+		tree.Insert(row[ci], i)
+	}
+	e.Dev.Snap = prev
+	sh := e.shared
+	sh.mu.Lock()
+	t.Indexes[col] = tree
+	if st, ok := sh.tables[t.Name]; ok {
+		st.indexes[col] = tree
+	}
+	sh.mu.Unlock()
+	return tree
 }
 
 // IndexRange builds an index range scan over [lo, hi] on the indexed column
@@ -512,9 +610,11 @@ func (e *Engine) GroupBy(child exec.Operator, groupBy []exec.Expr, aggs []exec.A
 	return &exec.GroupBy{Ctx: e.Ctx, Child: child, GroupBy: groupBy, Aggs: aggs}
 }
 
-// Run drains a plan with result display disabled (the paper's measurement
-// methodology) and returns the row count.
+// Run establishes the statement snapshot and drains a plan with result
+// display disabled (the paper's measurement methodology), returning the row
+// count.
 func (e *Engine) Run(plan exec.Operator) (int, error) {
+	e.BeginRead()
 	return exec.Drain(plan)
 }
 
@@ -544,35 +644,42 @@ func (e *Engine) Journal() JournalMode {
 	return JournalWAL
 }
 
-// ensureWAL lazily creates the log (read-only workloads never pay for it).
-func (e *Engine) ensureWAL() *storage.WAL {
-	if e.wal == nil {
-		e.wal = storage.NewWAL(e.Dev)
+// WAL exposes the instance-wide log (always present; read-only workloads
+// simply never append to it).
+func (e *Engine) WAL() *storage.WAL { return e.shared.Wal }
+
+// journalPayload sizes one logged row change under the engine's journal
+// mode: WAL engines log a logical record per row; the rollback journal
+// copies the whole page image on the first touch of each page and rides it
+// for later rows. journaled tracks first touches across one statement.
+func (e *Engine) journalPayload(t *Table, id int, journaled map[int]bool) int {
+	if e.Journal() == JournalRollback {
+		page := id / t.File.RowsPerPage()
+		if !journaled[page] {
+			journaled[page] = true
+			return e.Knobs.PageBytes
+		}
 	}
-	return e.wal
+	return t.schema.RowWidth()
 }
 
-// WAL exposes the engine's log for inspection (nil until the first write).
-func (e *Engine) WAL() *storage.WAL { return e.wal }
-
-// UpdateWhere updates every row matching pred: set receives the current row
-// and returns the replacement. The write path is journaled per the
-// engine's mode and committed once at the end (one statement = one
-// transaction). Updated rows must not change indexed columns; the paper
-// defers write-query analysis and so does this engine's index maintenance.
-// The whole statement runs under the store write lock.
+// UpdateWhereTxn updates every row matching pred under transaction tx: set
+// receives the current row and returns the replacement. Each change is
+// logged (write-ahead) before the version chain is touched. A write-write
+// conflict aborts the statement with txn.ErrWriteConflict; the caller
+// decides whether to roll the transaction back. Updated rows must not
+// change indexed columns; the paper defers write-query analysis and so does
+// this engine's index maintenance.
 //
 // It returns the number of rows updated.
-func (e *Engine) UpdateWhere(t *Table, pred exec.Expr, set func(value.Row) value.Row) (int, error) {
-	e.shared.mu.Lock()
-	defer e.shared.mu.Unlock()
-	wal := e.ensureWAL()
-	journaled := make(map[int]bool) // pages copied to the rollback journal
+func (e *Engine) UpdateWhereTxn(tx *txn.Txn, t *Table, pred exec.Expr, set func(value.Row) value.Row) (updated int, err error) {
+	defer exec.RecoverCanceled(&err)
+	e.Bind(tx)
+	journaled := make(map[int]bool)
 	predNodes := 0
 	if pred != nil {
 		predNodes = pred.Nodes()
 	}
-	updated := 0
 	for sc := t.File.Scan(); ; {
 		row, id, ok := sc.Next()
 		if !ok {
@@ -586,31 +693,158 @@ func (e *Engine) UpdateWhere(t *Table, pred exec.Expr, set func(value.Row) value
 			}
 		}
 		newRow := set(row.Clone())
-		for col, idx := range t.Indexes {
+		for col := range t.Indexes {
 			ci := t.schema.MustColIndex(col)
 			if !value.Equal(row[ci], newRow[ci]) {
 				return updated, fmt.Errorf("engine: UpdateWhere cannot change indexed column %q", col)
 			}
-			_ = idx
 		}
 		// Journal before modifying (write-ahead).
-		switch e.Journal() {
-		case JournalRollback:
-			page := id / t.File.RowsPerPage()
-			if !journaled[page] {
-				journaled[page] = true
-				wal.Append(e.Knobs.PageBytes) // whole page image
-			}
-		default:
-			wal.Append(t.schema.RowWidth()) // logical record
-		}
-		if _, err := t.File.Update(id, newRow); err != nil {
+		e.shared.Wal.Append(e.Dev, storage.LogRecord{
+			Kind: storage.RecUpdate, Txn: tx.ID(), Table: t.Name, Row: id, Data: newRow,
+		}, e.journalPayload(t, id, journaled))
+		if _, err := t.File.UpdateTxn(tx, id, newRow); err != nil {
 			return updated, err
 		}
 		updated++
 	}
-	wal.Commit()
 	return updated, nil
+}
+
+// UpdateWhere is the autocommit form of UpdateWhereTxn: one statement, one
+// transaction. Any error (including a write-write conflict) rolls back.
+func (e *Engine) UpdateWhere(t *Table, pred exec.Expr, set func(value.Row) value.Row) (int, error) {
+	tx := e.Begin()
+	n, err := e.UpdateWhereTxn(tx, t, pred, set)
+	if err != nil {
+		e.Rollback(tx)
+		return n, err
+	}
+	if err := e.Commit(tx); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// DeleteWhereTxn deletes every row matching pred under transaction tx,
+// logging each delete (write-ahead). Conflict semantics match
+// UpdateWhereTxn. It returns the number of rows deleted.
+func (e *Engine) DeleteWhereTxn(tx *txn.Txn, t *Table, pred exec.Expr) (deleted int, err error) {
+	defer exec.RecoverCanceled(&err)
+	e.Bind(tx)
+	journaled := make(map[int]bool)
+	predNodes := 0
+	if pred != nil {
+		predNodes = pred.Nodes()
+	}
+	for sc := t.File.Scan(); ; {
+		row, id, ok := sc.Next()
+		if !ok {
+			break
+		}
+		e.Ctx.TupleCost()
+		if pred != nil {
+			e.Ctx.EvalCost(predNodes)
+			if !exec.Truthy(pred.Eval(row)) {
+				continue
+			}
+		}
+		e.shared.Wal.Append(e.Dev, storage.LogRecord{
+			Kind: storage.RecDelete, Txn: tx.ID(), Table: t.Name, Row: id,
+		}, e.journalPayload(t, id, journaled))
+		if err := t.File.DeleteTxn(tx, id); err != nil {
+			return deleted, err
+		}
+		deleted++
+	}
+	return deleted, nil
+}
+
+// DeleteWhere is the autocommit form of DeleteWhereTxn.
+func (e *Engine) DeleteWhere(t *Table, pred exec.Expr) (int, error) {
+	tx := e.Begin()
+	n, err := e.DeleteWhereTxn(tx, t, pred)
+	if err != nil {
+		e.Rollback(tx)
+		return n, err
+	}
+	if err := e.Commit(tx); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Recover replays durable log records (storage.WAL.Durable) after a crash:
+// committed transactions are re-applied in log order, transactions with no
+// durable commit record are rolled back. The replayed work drives this
+// worker's device — charged once, here — and appends nothing back to the
+// log (the records are already durable). Inserts land on their original
+// slot ids so later records address the right rows. It returns the number
+// of row changes applied.
+func (e *Engine) Recover(records []storage.LogRecord) (applied int, err error) {
+	defer exec.RecoverCanceled(&err)
+	open := make(map[uint64]*txn.Txn)
+	for i, rec := range records {
+		e.Ctx.PollEvery(i)
+		switch rec.Kind {
+		case storage.RecCommit:
+			if tx := open[rec.Txn]; tx != nil {
+				delete(open, rec.Txn)
+				if _, err := e.shared.Txns.Commit(tx); err != nil {
+					return applied, err
+				}
+			}
+		case storage.RecAbort:
+			if tx := open[rec.Txn]; tx != nil {
+				delete(open, rec.Txn)
+				if err := e.shared.Txns.Abort(tx); err != nil {
+					return applied, err
+				}
+			}
+		default:
+			tx := open[rec.Txn]
+			if tx == nil {
+				// Replay order mirrors original append order, so the
+				// lazy Begin sees every commit that preceded this
+				// transaction's first write.
+				tx = e.shared.Txns.Begin()
+				open[rec.Txn] = tx
+			}
+			t, terr := e.Table(rec.Table)
+			if terr != nil {
+				return applied, terr
+			}
+			switch rec.Kind {
+			case storage.RecInsert:
+				if err := t.File.InsertAtTxn(tx, rec.Row, rec.Data); err != nil {
+					return applied, err
+				}
+				for col, idx := range t.Indexes {
+					ci := t.schema.MustColIndex(col)
+					idx.Insert(rec.Data[ci], rec.Row)
+				}
+			case storage.RecUpdate:
+				if _, err := t.File.UpdateTxn(tx, rec.Row, rec.Data); err != nil {
+					return applied, err
+				}
+			case storage.RecDelete:
+				if err := t.File.DeleteTxn(tx, rec.Row); err != nil {
+					return applied, err
+				}
+			}
+			applied++
+		}
+	}
+	// Transactions whose commit record did not survive the crash lose.
+	for _, tx := range open {
+		n := tx.Writes()
+		if err := e.shared.Txns.Abort(tx); err != nil {
+			return applied, err
+		}
+		e.Dev.ChargeUndo(n)
+	}
+	e.Unbind()
+	return applied, nil
 }
 
 // Checkpoint flushes dirty buffer pages (and implicitly bounds recovery

@@ -178,8 +178,9 @@ func TestUpdateWhere(t *testing.T) {
 		t.Fatalf("scan sees %d updated rows, want 100", len(rows))
 	}
 	// WAL recorded the statement.
-	if e.WAL() == nil || e.WAL().Records == 0 || e.WAL().Syncs == 0 {
-		t.Fatalf("WAL not written: %+v", e.WAL())
+	if e.WAL() == nil || e.WAL().Records.Load() == 0 || e.WAL().Syncs.Load() == 0 {
+		t.Fatalf("WAL not written: records=%d syncs=%d",
+			e.WAL().Records.Load(), e.WAL().Syncs.Load())
 	}
 	// Dirty pages exist until checkpoint.
 	if e.Pool.DirtyCount() == 0 {
@@ -221,9 +222,19 @@ func TestRollbackJournalCopiesPagesOnce(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// Rollback journal: one record per touched page, not per row.
+	// Rollback journal: every row logs a logical record for replay (400
+	// updates + the commit), but only the first touch of each page pays a
+	// full page image — later rows on the same page journal just their
+	// after-image, so bytes stay page-granular, not row-count-granular.
+	if got := e.WAL().Records.Load(); got != 401 {
+		t.Fatalf("journal records = %d, want 401 (400 rows + commit)", got)
+	}
 	pages := uint64(tbl.File.PageCount())
-	if got := e.WAL().Records; got != pages {
-		t.Fatalf("journal records = %d, want one per page (%d)", got, pages)
+	minBytes := pages * uint64(e.Knobs.PageBytes)
+	maxBytes := minBytes + 400*uint64(tbl.Schema().RowWidth()) + 401*64
+	got := e.WAL().Bytes.Load()
+	if got < minBytes || got > maxBytes {
+		t.Fatalf("journal bytes = %d, want one page image per touched page plus row records (%d..%d)",
+			got, minBytes, maxBytes)
 	}
 }

@@ -156,9 +156,13 @@ func (j *IndexJoin) Next() (value.Row, bool, error) {
 		if j.matchIdx < len(j.matches) {
 			id := j.matches[j.matchIdx]
 			j.matchIdx++
-			inner, err := j.Inner.ReadRow(id, false)
+			inner, visible, err := j.Inner.ReadRow(id, false)
 			if err != nil {
 				return nil, false, err
+			}
+			if !visible {
+				j.Ctx.TupleCost()
+				continue
 			}
 			if j.out == nil {
 				j.out = make(value.Row, 0, len(j.outerRow)+len(inner))

@@ -104,11 +104,16 @@ func (s *IndexScan) Next() (value.Row, bool, error) {
 		}
 		id := s.it.RowID()
 		s.it.Next()
-		row, err := s.File.ReadRow(id, false)
+		row, visible, err := s.File.ReadRow(id, false)
 		if err != nil {
 			return nil, false, err
 		}
 		s.Ctx.TupleCost()
+		if !visible {
+			// Index entry for a version this snapshot cannot see (index
+			// entries outlive their heap versions, as in PostgreSQL).
+			continue
+		}
 		if s.Filter != nil {
 			s.Ctx.EvalCost(s.filterNodes)
 			if !Truthy(s.Filter.Eval(row)) {
@@ -305,9 +310,11 @@ func (s *memScan) Close() error { return nil }
 // abandoned through Ctx.Cancel (a statement timeout, typically).
 var ErrCanceled = errors.New("exec: statement canceled")
 
-// recoverCanceled converts the cancellation unwind into ErrCanceled and
-// re-panics on anything else.
-func recoverCanceled(err *error) {
+// RecoverCanceled is the deferred guard for loops that charge tuple costs
+// outside an operator tree (engine DML, recovery replay): it converts the
+// cancellation unwind raised by Ctx.TupleCost/Poll into ErrCanceled and
+// re-panics on anything else. Usage: defer exec.RecoverCanceled(&err).
+func RecoverCanceled(err *error) {
 	switch r := recover(); r {
 	case nil:
 	case canceledPanic{}:
@@ -319,7 +326,7 @@ func recoverCanceled(err *error) {
 
 // Collect drains an operator into a slice (cloning rows) and closes it.
 func Collect(op Operator) (rows []value.Row, err error) {
-	defer recoverCanceled(&err)
+	defer RecoverCanceled(&err)
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -341,7 +348,7 @@ func Collect(op Operator) (rows []value.Row, err error) {
 // row count. The top of every profiled query uses Drain: result display is
 // disabled, as in the paper's measurement methodology.
 func Drain(op Operator) (n int, err error) {
-	defer recoverCanceled(&err)
+	defer RecoverCanceled(&err)
 	if err := op.Open(); err != nil {
 		return 0, err
 	}

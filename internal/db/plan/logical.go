@@ -431,8 +431,8 @@ func (pc *planCtx) sampleJoinEstimate(r *rel, resConds []sql.Node) (fan, condSel
 				passed++
 				continue
 			}
-			inner, err := r.t.File.ReadRow(id, false)
-			if err != nil {
+			inner, visible, err := r.t.File.ReadRow(id, false)
+			if err != nil || !visible {
 				continue
 			}
 			out = append(append(out[:0], s...), inner...)

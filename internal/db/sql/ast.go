@@ -41,6 +41,43 @@ type OrderKey struct {
 	Desc bool
 }
 
+// InsertStmt is `INSERT INTO table [(cols...)] VALUES (exprs...)`.
+type InsertStmt struct {
+	Table string
+	// Cols names the target columns; empty means schema order.
+	Cols []string
+	// Values are the literal expressions, one per column.
+	Values []Node
+}
+
+// SetClause is one `col = expr` assignment in an UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Node
+}
+
+// UpdateStmt is `UPDATE table SET col = expr, ... [WHERE pred]`.
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Node
+}
+
+// DeleteStmt is `DELETE FROM table [WHERE pred]`.
+type DeleteStmt struct {
+	Table string
+	Where Node
+}
+
+// BeginStmt is `BEGIN [TRANSACTION]`.
+type BeginStmt struct{}
+
+// CommitStmt is `COMMIT [WORK]`.
+type CommitStmt struct{}
+
+// RollbackStmt is `ROLLBACK [WORK]`.
+type RollbackStmt struct{}
+
 // Node is an expression AST node.
 type Node interface{ node() }
 

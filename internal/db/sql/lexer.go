@@ -34,7 +34,9 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true, "LIKE": true, "IN": true,
 	"BETWEEN": true, "ASC": true, "DESC": true, "SUM": true, "AVG": true,
 	"COUNT": true, "MIN": true, "MAX": true, "NULL": true, "EXPLAIN": true,
-	"ENERGY": true,
+	"ENERGY": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "TRANSACTION": true, "WORK": true,
 }
 
 // lexer scans SQL text into tokens.

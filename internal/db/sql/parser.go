@@ -160,6 +160,123 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// insertStmt parses `INSERT INTO table [(cols...)] VALUES (exprs...)`.
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: tbl.text}
+	if p.accept(tokSymbol, "(") {
+		for {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Cols = append(stmt.Cols, c.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Values = append(stmt.Values, e)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Cols) > 0 && len(stmt.Cols) != len(stmt.Values) {
+		return nil, fmt.Errorf("sql: INSERT names %d columns but supplies %d values",
+			len(stmt.Cols), len(stmt.Values))
+	}
+	return stmt, nil
+}
+
+// updateStmt parses `UPDATE table SET col = expr, ... [WHERE pred]`.
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	if _, err := p.expect(tokKeyword, "UPDATE"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: tbl.text}
+	for {
+		col, err := p.qualifiedIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetClause{Col: col, Expr: e})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+// deleteStmt parses `DELETE FROM table [WHERE pred]`.
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if _, err := p.expect(tokKeyword, "DELETE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: tbl.text}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
 func (p *parser) selectItem() (SelectItem, error) {
 	if p.accept(tokSymbol, "*") {
 		return SelectItem{Star: true}, nil

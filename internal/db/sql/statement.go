@@ -2,11 +2,19 @@ package sql
 
 import "fmt"
 
-// Statement is any parsed top-level statement: *SelectStmt or *ExplainStmt.
+// Statement is any parsed top-level statement: *SelectStmt, *ExplainStmt,
+// *InsertStmt, *UpdateStmt, *DeleteStmt, or one of the transaction controls
+// *BeginStmt / *CommitStmt / *RollbackStmt.
 type Statement interface{ stmt() }
 
-func (*SelectStmt) stmt()  {}
-func (*ExplainStmt) stmt() {}
+func (*SelectStmt) stmt()   {}
+func (*ExplainStmt) stmt()  {}
+func (*InsertStmt) stmt()   {}
+func (*UpdateStmt) stmt()   {}
+func (*DeleteStmt) stmt()   {}
+func (*BeginStmt) stmt()    {}
+func (*CommitStmt) stmt()   {}
+func (*RollbackStmt) stmt() {}
 
 // ExplainStmt is `EXPLAIN [ENERGY] <select>`. Plain EXPLAIN asks for the
 // optimizer's chosen plan with estimated cardinalities and predicted energy;
@@ -17,28 +25,52 @@ type ExplainStmt struct {
 	Select *SelectStmt
 }
 
-// ParseStatement parses one top-level statement: a SELECT, or an EXPLAIN /
-// EXPLAIN ENERGY wrapping one. Parse remains the SELECT-only entry point.
+// ParseStatement parses one top-level statement: a SELECT (optionally under
+// EXPLAIN / EXPLAIN ENERGY), a DML statement (INSERT, UPDATE, DELETE), or a
+// transaction control (BEGIN, COMMIT, ROLLBACK). Parse remains the
+// SELECT-only entry point.
 func ParseStatement(src string) (Statement, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	explain := p.accept(tokKeyword, "EXPLAIN")
-	energy := false
-	if explain {
-		energy = p.accept(tokKeyword, "ENERGY")
+	var stmt Statement
+	switch {
+	case p.accept(tokKeyword, "BEGIN"):
+		p.accept(tokKeyword, "TRANSACTION")
+		stmt = &BeginStmt{}
+	case p.accept(tokKeyword, "COMMIT"):
+		p.accept(tokKeyword, "WORK")
+		stmt = &CommitStmt{}
+	case p.accept(tokKeyword, "ROLLBACK"):
+		p.accept(tokKeyword, "WORK")
+		stmt = &RollbackStmt{}
+	case p.at(tokKeyword, "INSERT"):
+		stmt, err = p.insertStmt()
+	case p.at(tokKeyword, "UPDATE"):
+		stmt, err = p.updateStmt()
+	case p.at(tokKeyword, "DELETE"):
+		stmt, err = p.deleteStmt()
+	default:
+		explain := p.accept(tokKeyword, "EXPLAIN")
+		energy := false
+		if explain {
+			energy = p.accept(tokKeyword, "ENERGY")
+		}
+		var sel *SelectStmt
+		sel, err = p.selectStmt()
+		if err == nil && explain {
+			stmt = &ExplainStmt{Energy: energy, Select: sel}
+		} else if err == nil {
+			stmt = sel
+		}
 	}
-	sel, err := p.selectStmt()
 	if err != nil {
 		return nil, err
 	}
 	if !p.at(tokEOF, "") {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
 	}
-	if explain {
-		return &ExplainStmt{Energy: energy, Select: sel}, nil
-	}
-	return sel, nil
+	return stmt, nil
 }

@@ -6,14 +6,29 @@
 //
 // # Sharing model
 //
-// A heap file is split in two: TableData is the shared half (rows, schema,
-// page geometry) that every worker sees, and HeapFile is a per-worker view
-// that binds the shared data to one device and buffer pool. Views over the
-// same TableData read and write identical row contents while driving their
-// own simulated machine, so per-worker energy attribution stays exact.
-// TableData guards its row storage with an RWMutex (reads take the read
-// lock, Append/Update the write lock); statement-scoped exclusion between
-// queries and DML is layered above this in engine.Shared.
+// A heap file is split in two: TableData is the shared half (versioned tuple
+// chains, schema, page geometry) that every worker sees, and HeapFile is a
+// per-worker view that binds the shared data to one device and buffer pool.
+// Views over the same TableData read and write identical row contents while
+// driving their own simulated machine, so per-worker energy attribution
+// stays exact.
+//
+// # Versioning model
+//
+// Every slot holds a chain of Versions, newest first. A version carries
+// begin/end timestamps in the encoding of internal/db/txn (commit timestamp
+// or writing-transaction ID) and an immutable row payload. Readers resolve a
+// slot against the ambient snapshot on their Device (Device.Snap) without
+// blocking writers: TableData's RWMutex only guards the slot slice itself
+// (growth on insert, head swaps on update/abort), never a whole statement.
+// Version begin/end fields are atomics because commit stamping races
+// concurrent readers by design; the txn manager's publish-last protocol
+// makes torn commits unobservable.
+//
+// Chain walks are charged to the reading device as dependent loads in a
+// dedicated simulated region (old versions live off-page, as in a real MVCC
+// engine's version store), so snapshot overhead shows up in the energy
+// ledgers.
 package storage
 
 import (
@@ -23,6 +38,7 @@ import (
 
 	"energydb/internal/cpusim"
 	"energydb/internal/db/catalog"
+	"energydb/internal/db/txn"
 	"energydb/internal/db/value"
 	"energydb/internal/memsim"
 )
@@ -36,13 +52,29 @@ type Device struct {
 	// Disk models I/O latency.
 	Disk DiskModel
 
+	// Snap is the ambient MVCC snapshot every read through this device
+	// resolves version chains against. The engine sets it per statement
+	// (autocommit reads) or per transaction (Bind); its zero value sees
+	// exactly the bulk-loaded data (begin timestamp 0).
+	Snap txn.Snap
+
 	// everRead tracks pages that have been read from disk at least once
 	// and therefore live in the OS page cache: the paper's testbed has
 	// 32GB of memory against at most 1GB of data, so only first-ever
 	// reads pay disk latency; buffer-pool misses on previously-read
 	// pages cost a pread from the page cache (a memory copy).
 	everRead map[PageID]bool
+
+	// verBase/verOff place version-chain hops in a lazily allocated
+	// simulated region: each hop is a dependent load of the next
+	// version's header line in the version store.
+	verBase uint64
+	verOff  uint64
 }
+
+// versionArenaBytes sizes the simulated version-store region chain hops are
+// charged against.
+const versionArenaBytes = 1 << 20
 
 // NewDevice builds a device with a private arena.
 func NewDevice(m *cpusim.Machine, arenaBytes uint64) *Device {
@@ -51,6 +83,41 @@ func NewDevice(m *cpusim.Machine, arenaBytes uint64) *Device {
 		Arena:    memsim.NewArena(1<<32, arenaBytes),
 		Disk:     DefaultDisk(),
 		everRead: make(map[PageID]bool),
+	}
+}
+
+// ChargeChain simulates walking n version-chain hops: one dependent load of
+// the next version's header line per hop, placed in the version-store
+// region so snapshot overhead is attributed like any other memory traffic.
+func (dev *Device) ChargeChain(n int) {
+	if n <= 0 {
+		return
+	}
+	if dev.verBase == 0 {
+		dev.verBase = dev.Arena.Alloc(versionArenaBytes, memsim.PageSize)
+	}
+	h := dev.M.Hier
+	for i := 0; i < n; i++ {
+		h.Load(dev.verBase+dev.verOff, true)
+		dev.verOff = (dev.verOff + memsim.LineSize) % versionArenaBytes
+	}
+}
+
+// ChargeUndo simulates rolling back n undo records: each is a dependent load
+// of the record in the version store followed by a line store that unwinds
+// it, so aborts cost energy in proportion to the work being thrown away.
+func (dev *Device) ChargeUndo(n int) {
+	if n <= 0 {
+		return
+	}
+	if dev.verBase == 0 {
+		dev.verBase = dev.Arena.Alloc(versionArenaBytes, memsim.PageSize)
+	}
+	h := dev.M.Hier
+	for i := 0; i < n; i++ {
+		h.Load(dev.verBase+dev.verOff, true)
+		h.StoreRange(dev.verBase+dev.verOff, memsim.LineSize)
+		dev.verOff = (dev.verOff + memsim.LineSize) % versionArenaBytes
 	}
 }
 
@@ -280,16 +347,50 @@ func (bp *BufferPool) HitRate() float64 {
 // pageHeaderBytes models the slotted-page header walked on row access.
 const pageHeaderBytes = 24
 
-// TableData is the shared half of a heap file: row contents, schema and
-// page/slot geometry. Per-worker HeapFile views over one TableData see
-// identical rows while simulating their accesses on their own machines. The
-// row storage is guarded by an RWMutex so the storage layer is safe on its
-// own; statement-scoped exclusion (no DML while a query runs anywhere) is
-// the engine.Shared store's job.
+// Version is one entry in a slot's tuple chain, newest first. begin/end
+// hold the txn-package timestamp encoding and are atomics because commit
+// stamping races snapshot readers by design. The row payload is immutable
+// once the version is published; updates push a new chain head instead.
+type Version struct {
+	begin atomic.Uint64
+	end   atomic.Uint64
+	row   value.Row
+	prev  *Version
+}
+
+// newVersion builds a live version (open end timestamp).
+func newVersion(begin uint64, row value.Row, prev *Version) *Version {
+	v := &Version{row: row, prev: prev}
+	v.begin.Store(begin)
+	v.end.Store(txn.Infinity)
+	return v
+}
+
+// resolve walks the chain to the newest version visible to snap, returning
+// its payload (nil if no version is visible) and the number of chain hops
+// taken past the head. Callers charge the hops via Device.ChargeChain.
+func resolve(v *Version, snap txn.Snap) (value.Row, int) {
+	hops := 0
+	for v != nil {
+		if snap.Visible(v.begin.Load(), v.end.Load()) {
+			return v.row, hops
+		}
+		v = v.prev
+		hops++
+	}
+	return nil, hops
+}
+
+// TableData is the shared half of a heap file: versioned tuple chains,
+// schema and page/slot geometry. Per-worker HeapFile views over one
+// TableData see identical rows while simulating their accesses on their own
+// machines. The RWMutex guards only the slot slice (growth, head swaps) —
+// reads resolve snapshots lock-free against version atomics, so statements
+// never serialize behind DML.
 type TableData struct {
 	mu       sync.RWMutex
 	schema   *catalog.Schema
-	rows     []value.Row
+	slots    []*Version
 	fileID   int
 	rowWidth int
 	perPage  int
@@ -298,48 +399,78 @@ type TableData struct {
 	TupleOverhead int
 }
 
-// rowCount returns the number of rows under the read lock.
+// rowCount returns the number of slots under the read lock.
 func (d *TableData) rowCount() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.rows)
+	return len(d.slots)
 }
 
-// row returns row id (and true) under the read lock. The returned Row is
-// never mutated in place — Update replaces the slice element — so it stays
-// valid after the lock is released.
-func (d *TableData) row(id int) (value.Row, bool) {
+// row resolves slot id against snap under the read lock: row is nil when no
+// version is visible, hops counts chain hops past the head, ok is false
+// only when id is out of range. Returned rows are immutable payloads, so
+// they stay valid after the lock is released.
+func (d *TableData) row(id int, snap txn.Snap) (row value.Row, hops int, ok bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if id < 0 || id >= len(d.rows) {
-		return nil, false
+	if id < 0 || id >= len(d.slots) {
+		return nil, 0, false
 	}
-	return d.rows[id], true
+	row, hops = resolve(d.slots[id], snap)
+	return row, hops, true
 }
 
-// ForEachRaw visits every row under the read lock without simulating any
-// accesses. It is the ANALYZE path: statistics collection is bookkeeping on
-// the Go side, not part of any measured statement, so it must not advance
-// the PMU counters of whichever worker happens to run it.
+// ForEachRaw visits the latest committed version of every slot under the
+// read lock without simulating any accesses. It is the ANALYZE path:
+// statistics collection is bookkeeping on the Go side, not part of any
+// measured statement, so it must not advance the PMU counters of whichever
+// worker happens to run it. Slots with no committed version (in-flight
+// inserts, aborted tombstones, committed deletes) are skipped.
 func (d *TableData) ForEachRaw(fn func(id int, row value.Row)) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	for i, r := range d.rows {
-		fn(i, r)
+	latest := txn.Latest()
+	for i, v := range d.slots {
+		if row, _ := resolve(v, latest); row != nil {
+			fn(i, row)
+		}
 	}
 }
 
-// rowSpan copies up to len(dst) row headers starting at lo into dst under
-// one read lock, returning how many were copied. Rows are never mutated in
-// place (Update replaces the slice element), so the copied headers stay
-// valid after the lock is released.
-func (d *TableData) rowSpan(lo int, dst []value.Row) int {
+// LiveCount returns the number of slots with a version visible to the
+// latest-committed snapshot (no accesses simulated).
+func (d *TableData) LiveCount() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if lo < 0 || lo >= len(d.rows) {
-		return 0
+	latest := txn.Latest()
+	n := 0
+	for _, v := range d.slots {
+		if row, _ := resolve(v, latest); row != nil {
+			n++
+		}
 	}
-	return copy(dst, d.rows[lo:])
+	return n
+}
+
+// rowSpan resolves up to len(dst) slots starting at lo against snap under
+// one read lock. Invisible slots leave nil holes in dst. It returns the
+// number of slots examined and the total chain hops taken.
+func (d *TableData) rowSpan(lo int, dst []value.Row, snap txn.Snap) (n, hops int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if lo < 0 || lo >= len(d.slots) {
+		return 0, 0
+	}
+	n = len(d.slots) - lo
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		row, h := resolve(d.slots[lo+i], snap)
+		dst[i] = row
+		hops += h
+	}
+	return n, hops
 }
 
 var nextFileID atomic.Int64
@@ -376,6 +507,9 @@ func NewHeapFile(dev *Device, pool *BufferPool, schema *catalog.Schema, tupleOve
 // Data returns the shared table data behind this view.
 func (hf *HeapFile) Data() *TableData { return hf.data }
 
+// Device returns the device this view simulates its accesses on.
+func (hf *HeapFile) Device() *Device { return hf.dev }
+
 // View returns a heap file over the same shared table data bound to a
 // different device and buffer pool — the per-worker attachment path: row
 // contents and page geometry are shared, while every simulated access (page
@@ -387,10 +521,11 @@ func (d *TableData) View(dev *Device, pool *BufferPool) *HeapFile {
 // Schema returns the row schema.
 func (hf *HeapFile) Schema() *catalog.Schema { return hf.data.schema }
 
-// RowCount returns the number of rows.
+// RowCount returns the number of slots (including dead versions' slots);
+// it determines the file's page geometry.
 func (hf *HeapFile) RowCount() int { return hf.data.rowCount() }
 
-// PageCount returns the number of pages the rows occupy.
+// PageCount returns the number of pages the slots occupy.
 func (hf *HeapFile) PageCount() int {
 	n := hf.data.rowCount()
 	if n == 0 {
@@ -405,13 +540,16 @@ func (hf *HeapFile) RowsPerPage() int { return hf.data.perPage }
 // TupleOverhead returns the per-row header width knob.
 func (hf *HeapFile) TupleOverhead() int { return hf.data.TupleOverhead }
 
-// Append bulk-loads a row, simulating the page write. It takes the table
-// write lock for the row insertion.
+// Append bulk-loads a row outside any transaction (begin timestamp 0:
+// committed before every snapshot), simulating the page write. It takes the
+// table write lock for the slot insertion. The TPC-H loader and tests use
+// this path; transactional inserts go through InsertTxn.
 func (hf *HeapFile) Append(r value.Row) int {
 	d := hf.data
+	v := newVersion(0, r.Clone(), nil)
 	d.mu.Lock()
-	id := len(d.rows)
-	d.rows = append(d.rows, r.Clone())
+	id := len(d.slots)
+	d.slots = append(d.slots, v)
 	d.mu.Unlock()
 	page, slot := id/d.perPage, id%d.perPage
 	addr := hf.pool.Fetch(PageID{d.fileID, page}, true)
@@ -419,20 +557,128 @@ func (hf *HeapFile) Append(r value.Row) int {
 	return id
 }
 
-// Update overwrites row id in place: a random page fetch, the row store,
-// and the dirty mark (write-back happens on eviction or checkpoint). It
-// returns the number of bytes logically written, for WAL sizing. The row
-// slot is replaced (not mutated), so rows handed out earlier stay intact.
-func (hf *HeapFile) Update(id int, row value.Row) (int, error) {
+// insertRecord undoes/commits an InsertTxn: commit stamps the begin
+// timestamp, abort leaves an aborted tombstone in the slot (row IDs are
+// never reused, so recovery and concurrent scans keep stable geometry).
+type insertRecord struct{ v *Version }
+
+func (r *insertRecord) Commit(ts uint64) { r.v.begin.Store(ts) }
+func (r *insertRecord) Abort()           { r.v.begin.Store(txn.Aborted) }
+
+// updateRecord undoes/commits an UpdateTxn: commit stamps the new head's
+// begin and the old head's end with the commit timestamp; abort swaps the
+// old head back and reopens its end timestamp.
+type updateRecord struct {
+	d   *TableData
+	id  int
+	old *Version
+	neu *Version
+}
+
+func (r *updateRecord) Commit(ts uint64) {
+	r.neu.begin.Store(ts)
+	r.old.end.Store(ts)
+}
+
+func (r *updateRecord) Abort() {
+	r.old.end.Store(txn.Infinity)
+	r.d.mu.Lock()
+	r.d.slots[r.id] = r.old
+	r.d.mu.Unlock()
+}
+
+// deleteRecord undoes/commits a DeleteTxn: commit stamps the end timestamp,
+// abort reopens it.
+type deleteRecord struct{ v *Version }
+
+func (r *deleteRecord) Commit(ts uint64) { r.v.end.Store(ts) }
+func (r *deleteRecord) Abort()           { r.v.end.Store(txn.Infinity) }
+
+// wwConflict applies first-updater-wins to a slot head: the write loses if
+// the head was deleted or superseded (any stamped end), written by another
+// in-flight or aborted transaction, or committed after t's snapshot.
+func wwConflict(head *Version, t *txn.Txn) bool {
+	b, e := head.begin.Load(), head.end.Load()
+	if e != txn.Infinity {
+		return true
+	}
+	if b >= txn.TxnIDBase {
+		return b != t.ID()
+	}
+	return b > t.Snap().TS
+}
+
+// InsertTxn appends a new row version owned by t and registers the undo
+// record. The slot becomes visible to other snapshots only at commit; abort
+// leaves an invisible tombstone. The page write is simulated like Append
+// plus a dirty mark.
+func (hf *HeapFile) InsertTxn(t *txn.Txn, r value.Row) int {
+	d := hf.data
+	v := newVersion(t.ID(), r.Clone(), nil)
+	d.mu.Lock()
+	id := len(d.slots)
+	d.slots = append(d.slots, v)
+	d.mu.Unlock()
+	t.Log(&insertRecord{v: v})
+	page, slot := id/d.perPage, id%d.perPage
+	pid := PageID{d.fileID, page}
+	addr := hf.pool.Fetch(pid, true)
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*d.rowWidth), uint64(d.rowWidth))
+	hf.pool.MarkDirty(pid)
+	return id
+}
+
+// InsertAtTxn applies a recovered insert at a specific slot id (WAL replay
+// must reproduce the original row geometry because later log records address
+// rows by id). Slots lost to the crash — allocated by transactions whose
+// records never became durable — are back-filled with aborted tombstones.
+// It simulates the same page write as InsertTxn.
+func (hf *HeapFile) InsertAtTxn(t *txn.Txn, id int, r value.Row) error {
+	d := hf.data
+	v := newVersion(t.ID(), r.Clone(), nil)
+	d.mu.Lock()
+	if id < len(d.slots) {
+		n := len(d.slots)
+		d.mu.Unlock()
+		return fmt.Errorf("storage: replay slot %d already allocated (have %d)", id, n)
+	}
+	for len(d.slots) < id {
+		d.slots = append(d.slots, newVersion(txn.Aborted, nil, nil))
+	}
+	d.slots = append(d.slots, v)
+	d.mu.Unlock()
+	t.Log(&insertRecord{v: v})
+	page, slot := id/d.perPage, id%d.perPage
+	pid := PageID{d.fileID, page}
+	addr := hf.pool.Fetch(pid, true)
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*d.rowWidth), uint64(d.rowWidth))
+	hf.pool.MarkDirty(pid)
+	return nil
+}
+
+// UpdateTxn pushes a new version of slot id owned by t, first-updater-wins:
+// txn.ErrWriteConflict reports a head written by another in-flight
+// transaction or committed past t's snapshot. The old head stays reachable
+// for older snapshots (its end is stamped at commit). It returns the number
+// of bytes logically written, for WAL sizing.
+func (hf *HeapFile) UpdateTxn(t *txn.Txn, id int, row value.Row) (int, error) {
 	d := hf.data
 	d.mu.Lock()
-	if id < 0 || id >= len(d.rows) {
-		n := len(d.rows)
+	if id < 0 || id >= len(d.slots) {
+		n := len(d.slots)
 		d.mu.Unlock()
 		return 0, fmt.Errorf("storage: row %d out of range [0, %d)", id, n)
 	}
-	d.rows[id] = row.Clone()
+	head := d.slots[id]
+	if wwConflict(head, t) {
+		d.mu.Unlock()
+		return 0, txn.ErrWriteConflict
+	}
+	nv := newVersion(t.ID(), row.Clone(), head)
+	head.end.Store(t.ID())
+	d.slots[id] = nv
 	d.mu.Unlock()
+	t.Log(&updateRecord{d: d, id: id, old: head, neu: nv})
 	page, slot := id/d.perPage, id%d.perPage
 	pid := PageID{d.fileID, page}
 	addr := hf.pool.Fetch(pid, false)
@@ -441,22 +687,57 @@ func (hf *HeapFile) Update(id int, row value.Row) (int, error) {
 	return d.rowWidth, nil
 }
 
+// DeleteTxn stamps slot id's head with t's ID (first-updater-wins, as
+// UpdateTxn) so it disappears from snapshots after commit. The simulated
+// write touches the tuple header line only.
+func (hf *HeapFile) DeleteTxn(t *txn.Txn, id int) error {
+	d := hf.data
+	d.mu.Lock()
+	if id < 0 || id >= len(d.slots) {
+		n := len(d.slots)
+		d.mu.Unlock()
+		return fmt.Errorf("storage: row %d out of range [0, %d)", id, n)
+	}
+	head := d.slots[id]
+	if wwConflict(head, t) {
+		d.mu.Unlock()
+		return txn.ErrWriteConflict
+	}
+	head.end.Store(t.ID())
+	d.mu.Unlock()
+	t.Log(&deleteRecord{v: head})
+	page, slot := id/d.perPage, id%d.perPage
+	pid := PageID{d.fileID, page}
+	addr := hf.pool.Fetch(pid, false)
+	hf.dev.M.Hier.StoreRange(addr+uint64(pageHeaderBytes+slot*d.rowWidth), memsim.LineSize)
+	hf.pool.MarkDirty(pid)
+	return nil
+}
+
 // Pool returns the backing buffer pool.
 func (hf *HeapFile) Pool() *BufferPool { return hf.pool }
 
-// ReadRow fetches row id, simulating the page fetch and the row's cache-line
-// loads. sequential marks scan order access (readahead + independent loads);
-// random access (index lookups) issues dependent loads.
-func (hf *HeapFile) ReadRow(id int, sequential bool) (value.Row, error) {
+// ReadRow fetches row id under the device's ambient snapshot, simulating
+// the page fetch, chain hops and the row's cache-line loads. visible is
+// false (with a nil row) when no version of the slot is visible — index
+// probes skip such hits. sequential marks scan-order access (readahead +
+// independent loads); random access (index lookups) issues dependent loads.
+func (hf *HeapFile) ReadRow(id int, sequential bool) (row value.Row, visible bool, err error) {
 	d := hf.data
-	row, ok := d.row(id)
+	row, hops, ok := d.row(id, hf.dev.Snap)
 	if !ok {
-		return nil, fmt.Errorf("storage: row %d out of range [0, %d)", id, d.rowCount())
+		return nil, false, fmt.Errorf("storage: row %d out of range [0, %d)", id, d.rowCount())
 	}
 	page, slot := id/d.perPage, id%d.perPage
 	addr := hf.pool.Fetch(PageID{d.fileID, page}, sequential)
 	rowAddr := addr + uint64(pageHeaderBytes+slot*d.rowWidth)
 	h := hf.dev.M.Hier
+	hf.dev.ChargeChain(hops)
+	if row == nil {
+		// Invisible: only the tuple header was examined.
+		h.Load(rowAddr, !sequential)
+		return nil, false, nil
+	}
 	if sequential {
 		h.LoadRange(rowAddr, uint64(d.rowWidth))
 	} else {
@@ -466,7 +747,7 @@ func (hf *HeapFile) ReadRow(id int, sequential bool) (value.Row, error) {
 			h.LoadRange(rowAddr+memsim.LineSize, uint64(d.rowWidth-memsim.LineSize))
 		}
 	}
-	return row, nil
+	return row, true, nil
 }
 
 // Machine exposes the device machine (operators issue compute through it).
@@ -488,6 +769,8 @@ func (hf *HeapFile) ResidentPages() (resident, total int) {
 // Scanner iterates a heap file in row order, fetching each page once and
 // streaming the rows off it — the sequential-scan access pattern whose L1D
 // locality the paper identifies as the energy bottleneck's root cause.
+// Slots invisible to the device's snapshot are skipped after a header
+// check, so callers only ever see rows their snapshot may read.
 type Scanner struct {
 	hf       *HeapFile
 	next     int
@@ -495,36 +778,47 @@ type Scanner struct {
 	pageAddr uint64
 }
 
-// Scan starts a full-file sequential scan.
+// Scan starts a full-file sequential scan under the device's snapshot.
 func (hf *HeapFile) Scan() *Scanner {
 	return &Scanner{hf: hf, curPage: -1}
 }
 
-// Next returns the next row and its id, or ok=false at the end.
+// Next returns the next visible row and its id, or ok=false at the end.
 func (s *Scanner) Next() (value.Row, int, bool) {
 	hf := s.hf
 	d := hf.data
-	row, ok := d.row(s.next)
-	if !ok {
-		return nil, 0, false
+	h := hf.dev.M.Hier
+	for {
+		row, hops, ok := d.row(s.next, hf.dev.Snap)
+		if !ok {
+			return nil, 0, false
+		}
+		id := s.next
+		s.next++
+		page, slot := id/d.perPage, id%d.perPage
+		if page != s.curPage {
+			s.pageAddr = hf.pool.Fetch(PageID{d.fileID, page}, true)
+			s.curPage = page
+		}
+		rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*d.rowWidth)
+		hf.dev.ChargeChain(hops)
+		if row == nil {
+			// Invisible: the scan still touched the tuple header.
+			h.Load(rowAddr, false)
+			continue
+		}
+		h.LoadRange(rowAddr, uint64(d.rowWidth))
+		return row, id, true
 	}
-	id := s.next
-	s.next++
-	page, slot := id/d.perPage, id%d.perPage
-	if page != s.curPage {
-		s.pageAddr = hf.pool.Fetch(PageID{d.fileID, page}, true)
-		s.curPage = page
-	}
-	rowAddr := s.pageAddr + uint64(pageHeaderBytes+slot*d.rowWidth)
-	hf.dev.M.Hier.LoadRange(rowAddr, uint64(d.rowWidth))
-	return row, id, true
 }
 
 // BatchScanner iterates a heap file in row order a batch at a time: each
 // page is fetched once and each page's row run is streamed with a single
 // range load, so the batch touches the same pages and cache lines as the
 // row-at-a-time Scanner while amortizing the per-call bookkeeping over the
-// whole batch — the vectorized-scan access pattern.
+// whole batch — the vectorized-scan access pattern. Slots invisible to the
+// device's snapshot come back as nil holes; the vectorized scan drops them
+// via its selection vector.
 type BatchScanner struct {
 	hf       *HeapFile
 	next     int
@@ -542,19 +836,21 @@ func (hf *HeapFile) BatchScan(max int) *BatchScanner {
 	return &BatchScanner{hf: hf, curPage: -1, buf: make([]value.Row, max)}
 }
 
-// NextBatch returns the next run of rows and the id of the first, or
-// ok=false at the end of the file. The returned slice is only valid until
-// the following NextBatch call (the batch buffer is reused).
+// NextBatch returns the next run of rows (nil entries mark slots invisible
+// to the snapshot) and the id of the first, or ok=false at the end of the
+// file. The returned slice is only valid until the following NextBatch call
+// (the batch buffer is reused).
 func (s *BatchScanner) NextBatch() ([]value.Row, int, bool) {
 	hf := s.hf
 	d := hf.data
-	n := d.rowSpan(s.next, s.buf)
+	n, hops := d.rowSpan(s.next, s.buf, hf.dev.Snap)
 	if n == 0 {
 		return nil, 0, false
 	}
 	base := s.next
 	s.next += n
 	h := hf.dev.M.Hier
+	hf.dev.ChargeChain(hops)
 	for id := base; id < base+n; {
 		page, slot := id/d.perPage, id%d.perPage
 		if page != s.curPage {

@@ -117,14 +117,17 @@ func TestHeapFileRoundTrip(t *testing.T) {
 	if hf.RowCount() != 1000 {
 		t.Fatalf("row count = %d", hf.RowCount())
 	}
-	r, err := hf.ReadRow(500, true)
+	r, visible, err := hf.ReadRow(500, true)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !visible {
+		t.Fatal("bulk-loaded row invisible to zero snapshot")
 	}
 	if r[0].I != 500 || r[1].F != 750 {
 		t.Fatalf("row 500 = %v", r)
 	}
-	if _, err := hf.ReadRow(1000, true); err == nil {
+	if _, _, err := hf.ReadRow(1000, true); err == nil {
 		t.Fatal("out-of-range read must error")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"energydb/internal/cpusim"
+	"energydb/internal/db/txn"
 	"energydb/internal/db/value"
 )
 
@@ -31,7 +32,7 @@ func TestTableDataView(t *testing.T) {
 
 	beforeA := devA.M.Hier.Counters()
 	beforeB := devB.M.Hier.Counters()
-	row, err := view.ReadRow(42, false)
+	row, _, err := view.ReadRow(42, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +46,17 @@ func TestTableDataView(t *testing.T) {
 		t.Fatal("reading through the view did not advance the view machine's counters")
 	}
 
-	// Writes through one view are visible to the other.
-	if _, err := view.Update(42, value.Row{value.Int(-1), value.Float(0), value.Str("y")}); err != nil {
+	// Committed writes through one view are visible to the other.
+	mgr := txn.NewManager()
+	tx := mgr.Begin()
+	if _, err := view.UpdateTxn(tx, 42, value.Row{value.Int(-1), value.Float(0), value.Str("y")}); err != nil {
 		t.Fatal(err)
 	}
-	row, err = hf.ReadRow(42, false)
+	if _, err := mgr.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	devA.Snap = mgr.ReadSnap()
+	row, _, err = hf.ReadRow(42, false)
 	if err != nil {
 		t.Fatal(err)
 	}

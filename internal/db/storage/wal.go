@@ -1,80 +1,204 @@
 package storage
 
 import (
-	"energydb/internal/memsim"
+	"sync"
+	"sync/atomic"
+
+	"energydb/internal/db/value"
 )
 
-// WAL is a write-ahead log: records append into a hot log buffer (stores
-// with excellent L1D locality) and commits force the buffer to disk. The
-// paper defers write queries ("a totally different problem", Section 2.3);
-// this implements the machinery so the X4 extension experiment can profile
-// them with the same methodology.
-type WAL struct {
-	dev *Device
-	// buf is the in-memory log buffer (a hot, reused region).
-	buf     uint64
-	bufSize uint64
-	bufOff  uint64
-	// FsyncSec is the commit-time flush latency.
-	FsyncSec float64
-	// GroupCommit batches this many commits per fsync (1 = every commit
-	// syncs, as PostgreSQL's synchronous_commit=on).
-	GroupCommit int
+// RecordKind tags a WAL record.
+type RecordKind int
 
-	pendingCommits int
-	// Records counts appended records; Syncs counts fsyncs.
-	Records uint64
-	Syncs   uint64
-	Bytes   uint64
+// WAL record kinds. Data records (insert/update/delete) carry the logical
+// after-image; commit/abort close a transaction.
+const (
+	RecInsert RecordKind = iota + 1
+	RecUpdate
+	RecDelete
+	RecCommit
+	RecAbort
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecInsert:
+		return "insert"
+	case RecUpdate:
+		return "update"
+	case RecDelete:
+		return "delete"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// LogRecord is one logical WAL entry: which transaction touched which row
+// of which table, with the after-image for redo. Replay applies data
+// records in log order and commits/aborts transactions as their closing
+// records appear (see engine.Recover).
+type LogRecord struct {
+	Kind  RecordKind
+	Txn   uint64
+	Table string
+	Row   int
+	Data  value.Row
 }
 
 // walBufBytes is the log buffer size (PostgreSQL's wal_buffers default
 // scale, scaled down like the rest of the knobs).
 const walBufBytes = 64 << 10
 
-// NewWAL allocates the log buffer from the device arena.
-func NewWAL(dev *Device) *WAL {
+// walBufBase is the simulated address of the shared log buffer. It sits
+// below every device arena (arenas start at 1<<32), so all workers' append
+// traffic lands on the same hot region — as a real engine's WAL insert
+// buffer does.
+const walBufBase = uint64(0xE000_0000)
+
+// WAL is the shared write-ahead log of one table store: every
+// transactional write appends a logical record before touching the heap,
+// commit forces the buffer to stable storage (fsync-charged to the
+// committing worker's device), and replay on open restores committed work.
+// The log is one structure shared by all workers — the internal mutex
+// guards buffer state; counters are atomics so observers never race
+// appenders. Simulated costs (buffer stores, flush loads, fsync latency)
+// are charged to the Device passed by the calling worker, keeping
+// per-session energy attribution exact.
+type WAL struct {
+	mu sync.Mutex
+	// bufOff is the fill point of the simulated log buffer.
+	bufOff uint64
+	// pending are records appended but not yet durable; a crash loses
+	// them.
+	pending []LogRecord
+	// durable are records that reached stable storage.
+	durable        []LogRecord
+	pendingCommits int
+
+	// FsyncSec is the commit-time flush latency. Set before use; not
+	// synchronized.
+	FsyncSec float64
+	// GroupCommit batches this many commits per fsync (1 = every commit
+	// syncs, as PostgreSQL's synchronous_commit=on). Set before use.
+	GroupCommit int
+
+	// Records counts appended records; Syncs counts fsyncs; Bytes counts
+	// logical log bytes.
+	Records atomic.Uint64
+	Syncs   atomic.Uint64
+	Bytes   atomic.Uint64
+}
+
+// walRecordHeader is the per-record header size charged on append.
+const walRecordHeader = 24
+
+// NewWAL returns an empty log.
+func NewWAL() *WAL {
 	return &WAL{
-		dev:         dev,
-		buf:         dev.Arena.Alloc(walBufBytes, memsim.PageSize),
-		bufSize:     walBufBytes,
 		FsyncSec:    120e-6, // one rotational-latency-ish flush
 		GroupCommit: 1,
 	}
 }
 
-// Append writes one log record of the given payload size: a header plus the
-// payload streamed into the log buffer.
-func (w *WAL) Append(payload int) {
-	size := uint64(payload + 24)
-	if w.bufOff+size > w.bufSize {
+// Append logs one data record of the given payload size: a header plus the
+// payload streamed into the log buffer (stores with excellent L1D
+// locality), charged to dev.
+func (w *WAL) Append(dev *Device, rec LogRecord, payload int) {
+	size := uint64(payload + walRecordHeader)
+	w.mu.Lock()
+	if w.bufOff+size > walBufBytes {
 		// Buffer wrap forces a background flush of the filled portion.
-		w.flush()
+		w.flushLocked(dev)
 	}
-	w.dev.M.Hier.StoreRange(w.buf+w.bufOff, size)
+	dev.M.Hier.StoreRange(walBufBase+w.bufOff, size)
 	w.bufOff += size
-	w.Records++
-	w.Bytes += size
+	w.pending = append(w.pending, rec)
+	w.mu.Unlock()
+	w.Records.Add(1)
+	w.Bytes.Add(size)
 }
 
-// Commit makes appended records durable; with group commit, only every
-// GroupCommit'th call pays the fsync.
-func (w *WAL) Commit() {
+// Commit logs the transaction's commit record and makes everything
+// appended so far durable; with group commit, only every GroupCommit'th
+// call pays the fsync. The flush cost lands on the committing worker's
+// device.
+func (w *WAL) Commit(dev *Device, txnID uint64) {
+	size := uint64(walRecordHeader)
+	w.mu.Lock()
+	if w.bufOff+size > walBufBytes {
+		w.flushLocked(dev)
+	}
+	dev.M.Hier.StoreRange(walBufBase+w.bufOff, size)
+	w.bufOff += size
+	w.pending = append(w.pending, LogRecord{Kind: RecCommit, Txn: txnID})
 	w.pendingCommits++
 	if w.pendingCommits >= w.GroupCommit {
-		w.flush()
+		w.flushLocked(dev)
 	}
+	w.mu.Unlock()
+	w.Records.Add(1)
+	w.Bytes.Add(size)
 }
 
-// flush forces the buffer to stable storage.
-func (w *WAL) flush() {
+// Abort logs the transaction's abort record. No fsync is forced — an abort
+// needs no durability guarantee (replay aborts unclosed transactions
+// anyway); the record rides the next flush.
+func (w *WAL) Abort(dev *Device, txnID uint64) {
+	size := uint64(walRecordHeader)
+	w.mu.Lock()
+	if w.bufOff+size > walBufBytes {
+		w.flushLocked(dev)
+	}
+	dev.M.Hier.StoreRange(walBufBase+w.bufOff, size)
+	w.bufOff += size
+	w.pending = append(w.pending, LogRecord{Kind: RecAbort, Txn: txnID})
+	w.mu.Unlock()
+	w.Records.Add(1)
+	w.Bytes.Add(size)
+}
+
+// Sync forces the buffer to stable storage (checkpoint / shutdown path).
+func (w *WAL) Sync(dev *Device) {
+	w.mu.Lock()
+	w.flushLocked(dev)
+	w.mu.Unlock()
+}
+
+// flushLocked forces the buffer to stable storage. Caller holds w.mu.
+func (w *WAL) flushLocked(dev *Device) {
 	if w.bufOff == 0 && w.pendingCommits == 0 {
 		return
 	}
 	// The kernel copies the buffer out (loads of the log buffer).
-	w.dev.M.Hier.LoadRange(w.buf, w.bufOff)
-	w.dev.M.AddIdle(w.FsyncSec)
+	dev.M.Hier.LoadRange(walBufBase, w.bufOff)
+	dev.M.AddIdle(w.FsyncSec)
+	w.durable = append(w.durable, w.pending...)
+	w.pending = w.pending[:0]
 	w.bufOff = 0
 	w.pendingCommits = 0
-	w.Syncs++
+	w.Syncs.Add(1)
+}
+
+// Durable returns a copy of the records that have reached stable storage —
+// what a crash would leave behind for replay. Records still in the buffer
+// (appended but never flushed) are lost, exactly like a real log.
+func (w *WAL) Durable() []LogRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]LogRecord, len(w.durable))
+	copy(out, w.durable)
+	return out
+}
+
+// PendingLen reports how many records sit in the volatile buffer (test and
+// observability hook; no accesses simulated).
+func (w *WAL) PendingLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
 }

@@ -5,71 +5,116 @@ import (
 
 	"energydb/internal/cpusim"
 	"energydb/internal/db/catalog"
+	"energydb/internal/db/txn"
 	"energydb/internal/db/value"
 )
 
 func TestWALAppendAndCommit(t *testing.T) {
 	dev := newDev(t)
-	w := NewWAL(dev)
+	w := NewWAL()
 	for i := 0; i < 10; i++ {
-		w.Append(100)
+		w.Append(dev, LogRecord{Kind: RecUpdate, Txn: 1, Table: "t", Row: i}, 100)
 	}
-	if w.Records != 10 {
-		t.Fatalf("records = %d", w.Records)
+	if w.Records.Load() != 10 {
+		t.Fatalf("records = %d", w.Records.Load())
 	}
-	if w.Syncs != 0 {
+	if w.Syncs.Load() != 0 {
 		t.Fatal("no commit yet, no sync expected")
 	}
+	if len(w.Durable()) != 0 {
+		t.Fatal("records durable before any flush")
+	}
 	idle0 := dev.M.IdleSeconds()
-	w.Commit()
-	if w.Syncs != 1 {
-		t.Fatalf("syncs = %d after commit", w.Syncs)
+	w.Commit(dev, 1)
+	if w.Syncs.Load() != 1 {
+		t.Fatalf("syncs = %d after commit", w.Syncs.Load())
 	}
 	if dev.M.IdleSeconds()-idle0 < w.FsyncSec*0.99 {
 		t.Fatal("commit did not pay fsync latency")
+	}
+	recs := w.Durable()
+	if len(recs) != 11 {
+		t.Fatalf("durable records = %d, want 11 (10 data + commit)", len(recs))
+	}
+	if last := recs[len(recs)-1]; last.Kind != RecCommit || last.Txn != 1 {
+		t.Fatalf("last durable record = %+v, want commit of txn 1", last)
 	}
 }
 
 func TestWALGroupCommit(t *testing.T) {
 	dev := newDev(t)
-	w := NewWAL(dev)
+	w := NewWAL()
 	w.GroupCommit = 4
 	for i := 0; i < 8; i++ {
-		w.Append(64)
-		w.Commit()
+		w.Append(dev, LogRecord{Kind: RecUpdate, Txn: uint64(i), Table: "t"}, 64)
+		w.Commit(dev, uint64(i))
 	}
-	if w.Syncs != 2 {
-		t.Fatalf("syncs = %d, want 2 (group commit of 4)", w.Syncs)
+	if w.Syncs.Load() != 2 {
+		t.Fatalf("syncs = %d, want 2 (group commit of 4)", w.Syncs.Load())
 	}
 }
 
 func TestWALBufferWrapFlushes(t *testing.T) {
 	dev := newDev(t)
-	w := NewWAL(dev)
+	w := NewWAL()
 	// Fill past the 64KB buffer: background flushes must happen.
 	for i := 0; i < 200; i++ {
-		w.Append(1 << 10)
+		w.Append(dev, LogRecord{Kind: RecInsert, Txn: 1, Table: "t", Row: i}, 1<<10)
 	}
-	if w.Syncs == 0 {
+	if w.Syncs.Load() == 0 {
 		t.Fatal("buffer wrap never flushed")
 	}
-	if w.Bytes < 200*(1<<10) {
-		t.Fatalf("bytes = %d", w.Bytes)
+	if w.Bytes.Load() < 200*(1<<10) {
+		t.Fatalf("bytes = %d", w.Bytes.Load())
+	}
+	// Wrap-flushed records are durable even without a commit.
+	if len(w.Durable())+w.PendingLen() != 200 {
+		t.Fatalf("durable %d + pending %d != 200", len(w.Durable()), w.PendingLen())
 	}
 }
 
 func TestWALEmptyCommitIsFree(t *testing.T) {
 	dev := newDev(t)
-	w := NewWAL(dev)
-	idle0 := dev.M.IdleSeconds()
-	w.Commit()
-	// An empty commit still counts a sync decision but the flush is
-	// cheap only when nothing is buffered; either way it must not panic
-	// and must not grow bytes.
-	if w.Bytes != 0 {
-		t.Fatalf("bytes = %d", w.Bytes)
+	w := NewWAL()
+	w.Sync(dev)
+	if w.Bytes.Load() != 0 || w.Syncs.Load() != 0 {
+		t.Fatalf("empty sync: bytes=%d syncs=%d", w.Bytes.Load(), w.Syncs.Load())
 	}
-	_ = idle0
+}
+
+// TestWALCrashLosesUnflushedTail is the crash contract: records never
+// flushed are not in Durable(), and a transaction whose data records are
+// durable but whose commit record is not must be treated as unclosed by
+// replay.
+func TestWALCrashLosesUnflushedTail(t *testing.T) {
+	dev := newDev(t)
+	w := NewWAL()
+	w.Append(dev, LogRecord{Kind: RecInsert, Txn: 1, Table: "t", Row: 0}, 64)
+	w.Commit(dev, 1)
+	// Txn 2 appends and flushes its data (buffer pressure), then "crashes"
+	// before commit.
+	w.Append(dev, LogRecord{Kind: RecUpdate, Txn: 2, Table: "t", Row: 0}, 64)
+	w.Sync(dev)
+	w.Append(dev, LogRecord{Kind: RecUpdate, Txn: 2, Table: "t", Row: 1}, 64)
+
+	recs := w.Durable()
+	if len(recs) != 3 {
+		t.Fatalf("durable = %d records, want 3", len(recs))
+	}
+	committed := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Kind == RecCommit {
+			committed[r.Txn] = true
+		}
+	}
+	if !committed[1] || committed[2] {
+		t.Fatalf("committed set = %v, want {1}", committed)
+	}
+}
+
+func newTxnPair() (*txn.Manager, *txn.Txn) {
+	m := txn.NewManager()
+	return m, m.Begin()
 }
 
 func TestHeapFileUpdateRoundTrip(t *testing.T) {
@@ -79,20 +124,26 @@ func TestHeapFileUpdateRoundTrip(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		hf.Append(value.Row{value.Int(int64(i)), value.Float(0), value.Str("x")})
 	}
-	if _, err := hf.Update(42, value.Row{value.Int(42), value.Float(9.5), value.Str("y")}); err != nil {
+	mgr, tx := newTxnPair()
+	if _, err := hf.UpdateTxn(tx, 42, value.Row{value.Int(42), value.Float(9.5), value.Str("y")}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := hf.ReadRow(42, true)
+	if _, err := mgr.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	dev.Snap = mgr.ReadSnap()
+	r, visible, err := hf.ReadRow(42, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r[1].F != 9.5 || r[2].S != "y" {
-		t.Fatalf("updated row = %v", r)
+	if !visible || r[1].F != 9.5 || r[2].S != "y" {
+		t.Fatalf("updated row = %v (visible=%v)", r, visible)
 	}
 	if bp.DirtyCount() == 0 {
 		t.Fatal("update left no dirty page")
 	}
-	if _, err := hf.Update(100, nil); err == nil {
+	tx2 := mgr.Begin()
+	if _, err := hf.UpdateTxn(tx2, 100, nil); err == nil {
 		t.Fatal("out-of-range update must error")
 	}
 }
@@ -182,7 +233,7 @@ func TestWideRowsSpanMultipleLines(t *testing.T) {
 	hf := NewHeapFile(dev, bp, testSchemaWide(), 0)
 	hf.Append(value.Row{value.Str("x"), value.Str("y")})
 	before := dev.M.Hier.Counters()
-	if _, err := hf.ReadRow(0, false); err != nil {
+	if _, _, err := hf.ReadRow(0, false); err != nil {
 		t.Fatal(err)
 	}
 	d := dev.M.Hier.Counters().Sub(before)
@@ -202,5 +253,8 @@ func TestMachineAccessor(t *testing.T) {
 	}
 	if hf.Pool() != bp {
 		t.Fatal("Pool() accessor wrong")
+	}
+	if hf.Device() != dev {
+		t.Fatal("Device() accessor wrong")
 	}
 }

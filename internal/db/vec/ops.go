@@ -71,6 +71,14 @@ func (s *Scan) Next() (*Batch, error) {
 	// One driver dispatch per batch: the scan's cursor bookkeeping and
 	// batch handoff cost one tuple's worth of interpretation overhead.
 	s.Ctx.TupleCost()
+	// Slots invisible to the snapshot arrive as nil holes; drop them via
+	// the selection vector so kernels only see rows this snapshot may read.
+	for _, r := range rows {
+		if r == nil {
+			b.narrowSel(s.Ctx, func(i int) bool { return rows[i] != nil })
+			break
+		}
+	}
 	if s.Pred != nil {
 		s.p.reset()
 		pv := evalVec(s.Ctx, s.p, s.Pred, b)

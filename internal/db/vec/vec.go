@@ -302,6 +302,12 @@ func (b *Batch) Col(ctx *exec.Ctx, j int) *Vector {
 	ctx.TupleCost()
 	//lint:nopoll bounded by one batch (at most MaxBatch positions); the TupleCost dispatch above is the per-batch checkpoint
 	for i, row := range b.rows {
+		if row == nil {
+			// Snapshot-invisible hole: never selected, but the vector
+			// position must hold a defined value.
+			v.Set(i, value.Null())
+			continue
+		}
 		v.Set(i, row[j])
 	}
 	h := ctx.M.Hier

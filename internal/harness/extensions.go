@@ -216,11 +216,8 @@ func RunExtensionWrites(o Options) (Result, error) {
 			if _, err := e.Run(e.Scan(li, nil)); err != nil {
 				return Result{}, err
 			}
-			var walBefore, wbBefore uint64
-			if e.WAL() != nil {
-				walBefore = e.WAL().Records
-			}
-			wbBefore = e.Pool.WriteBacks
+			walBefore := e.WAL().Records.Load()
+			wbBefore := e.Pool.WriteBacks
 			var updated int
 			var runErr error
 			b := prof.Profile(w.name, func() {
@@ -236,7 +233,7 @@ func RunExtensionWrites(o Options) (Result, error) {
 			if updated == 0 {
 				return Result{}, fmt.Errorf("harness: %s updated no rows", w.name)
 			}
-			walRecs := e.WAL().Records - walBefore
+			walRecs := e.WAL().Records.Load() - walBefore //lint:monotonic WAL counters never reset within a run
 			rows = append(rows, append(append([]string{kind.String(), w.name}, shareCells(b)...),
 				fmt.Sprintf("%.1f", b.L1DShare()*100),
 				fmt.Sprintf("%d", walRecs),

@@ -8,18 +8,24 @@ import (
 )
 
 // AnalyzerLockOrder enforces the documented locking model of the engine
-// stack (see the internal/db/engine package comment): the statement-scoped
-// store lock is always taken before the storage layer's row lock, which is
-// always taken before anything in the btree layer — engine → storage →
-// btree. It additionally flags two shapes that have bitten concurrent Go
-// systems forever and that `make race` can only catch when a test happens
-// to interleave badly:
+// stack (see the internal/db/engine package comment): the engine's short
+// catalog lock is always taken before the transaction manager's commit
+// lock, which is always taken before the storage layer's row lock, which
+// is always taken before anything in the btree layer — engine → txn →
+// storage → btree. It additionally flags three shapes that have bitten
+// concurrent Go systems forever and that `make race` can only catch when a
+// test happens to interleave badly:
 //
 //   - copying a value whose type contains a sync.Mutex/RWMutex/Once/
 //     WaitGroup (the copy silently forks the lock state);
 //   - blocking on a channel operation while holding a lock (the scheduler
 //     and store-provision paths must release before waiting, or a slow
-//     peer deadlocks every other session).
+//     peer deadlocks every other session);
+//   - reintroducing the retired statement-scoped store lock: an exported
+//     Lock/RLock/Unlock/RUnlock wrapper method on an engine-package type.
+//     That pattern (Shared.RLock held for a whole statement) serialized
+//     readers against writers and was replaced by MVCC snapshots; new
+//     code must not grow it back.
 //
 // The analysis is per-function and linear: function literals are separate
 // scopes (they usually run on other goroutines), an Unlock anywhere clears
@@ -27,18 +33,19 @@ import (
 // bias for a required CI gate), and a deferred Unlock holds to scope end.
 var AnalyzerLockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "engine→storage→btree lock ordering, mutex copies, locks held across channel ops",
+	Doc:  "engine→txn→storage→btree lock ordering, mutex copies, locks held across channel ops, retired store-lock wrappers",
 	Run:  runLockOrder,
 }
 
 // lockLevels orders the layers: lower acquires first. Classification is by
 // the final import-path element of the package declaring the lock's owner
-// type, so the rule applies to the real engine/storage/btree packages and
-// to fixture packages of the same names alike.
+// type, so the rule applies to the real engine/txn/storage/btree packages
+// and to fixture packages of the same names alike.
 var lockLevels = map[string]int{
 	"engine":  0,
-	"storage": 1,
-	"btree":   2,
+	"txn":     1,
+	"storage": 2,
+	"btree":   3,
 }
 
 // heldLock is one acquisition the linear scan still considers live.
@@ -55,6 +62,30 @@ func runLockOrder(pass *Pass) {
 			scanLockScope(pass, fn)
 		}
 		checkMutexCopies(pass, file)
+		checkStoreLockWrappers(pass, file)
+	}
+}
+
+// checkStoreLockWrappers flags exported Lock/RLock/Unlock/RUnlock methods
+// declared on engine-package types — the retired Shared.mu pattern, where
+// every statement held a store-scoped RWMutex for its whole execution.
+// MVCC snapshots replaced it; an exported lock wrapper on the engine layer
+// means some caller is again serializing statements on the store.
+func checkStoreLockWrappers(pass *Pass, file *ast.File) {
+	if path.Base(pass.Pkg.Path) != "engine" {
+		return
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || !fd.Name.IsExported() {
+			continue
+		}
+		if !isLockName(fd.Name.Name) && !isUnlockName(fd.Name.Name) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s method on an engine type resurrects the retired statement-scoped store lock; statements read MVCC snapshots instead",
+			fd.Name.Name)
 	}
 }
 
@@ -111,7 +142,7 @@ func scanLockScope(pass *Pass, fn funcScope) {
 			for _, h := range held {
 				if h.level >= 0 && lvl >= 0 && h.level > lvl {
 					pass.Reportf(n.Pos(),
-						"acquires %s lock (%s) while holding %s lock (%s); documented order is engine → storage → btree",
+						"acquires %s lock (%s) while holding %s lock (%s); documented order is engine → txn → storage → btree",
 						pkgBase, base, h.pkgBase, h.expr)
 				}
 			}

@@ -7,19 +7,23 @@ import (
 	"fixture.example/lockorder/btree"
 	"fixture.example/lockorder/engine"
 	"fixture.example/lockorder/storage"
+	"fixture.example/lockorder/txn"
 )
 
 type system struct {
 	store *engine.Store
+	txns  *txn.Manager
 	rows  *storage.Rows
 	tree  *btree.Tree
 	work  chan int
 }
 
-// goodOrder follows the documented engine → storage → btree order.
+// goodOrder follows the documented engine → txn → storage → btree order.
 func (s *system) goodOrder() {
 	s.store.Mu.Lock()
 	defer s.store.Mu.Unlock()
+	s.txns.Mu.Lock()
+	defer s.txns.Mu.Unlock()
 	s.rows.Mu.Lock()
 	defer s.rows.Mu.Unlock()
 	s.tree.Mu.Lock()
@@ -32,6 +36,16 @@ func (s *system) badOrder() {
 	s.store.Mu.Lock()
 	s.store.Mu.Unlock()
 	s.tree.Mu.Unlock()
+}
+
+// badCommitOrder takes the transaction manager's commit lock while already
+// holding a storage row lock — a commit publishing versions must never
+// wait on a row lock held by a statement that is itself waiting to commit.
+func (s *system) badCommitOrder() {
+	s.rows.Mu.Lock()
+	s.txns.Mu.Lock()
+	s.txns.Mu.Unlock()
+	s.rows.Mu.Unlock()
 }
 
 // publishLocked blocks on a channel send while holding the row lock.

@@ -3,7 +3,14 @@ package engine
 
 import "sync"
 
-// Store owns the statement-scoped lock.
+// Store owns the short catalog lock.
 type Store struct {
 	Mu sync.RWMutex
 }
+
+// RLock resurrects the retired statement-scoped store lock wrapper: the
+// analyzer must flag exported lock wrappers on engine types.
+func (s *Store) RLock() { s.Mu.RLock() }
+
+// RUnlock pairs with RLock; flagged for the same reason.
+func (s *Store) RUnlock() { s.Mu.RUnlock() }

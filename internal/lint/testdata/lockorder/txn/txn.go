@@ -1,0 +1,10 @@
+// Package txn is the fixture's transaction-manager lock layer (level 1):
+// after the engine catalog lock, before storage row locks.
+package txn
+
+import "sync"
+
+// Manager owns the commit lock.
+type Manager struct {
+	Mu sync.Mutex
+}

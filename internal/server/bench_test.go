@@ -14,11 +14,14 @@ import (
 	"energydb/internal/server/client"
 )
 
-// benchRow is one (workers, clients) cell of the throughput matrix,
-// serialized into BENCH_server.json.
+// benchRow is one (workers, clients, writers) cell of the throughput
+// matrix, serialized into BENCH_server.json. Writers is how many of the
+// clients run explicit transactions (BEGIN; UPDATE; COMMIT) instead of
+// read queries; 0 is the pure-read matrix.
 type benchRow struct {
 	Workers       int     `json:"workers"`
 	Clients       int     `json:"clients"`
+	Writers       int     `json:"writers"`
 	Queries       int     `json:"queries"`
 	Seconds       float64 `json:"seconds"`
 	QueriesPerSec float64 `json:"queries_per_sec"`
@@ -41,82 +44,136 @@ func BenchmarkServerThroughput(b *testing.B) {
 		for _, clients := range []int{1, 4, 16, 64} {
 			name := fmt.Sprintf("workers=%d/clients=%d", workers, clients)
 			b.Run(name, func(b *testing.B) {
-				_, addr := startServerCfg(b, server.Config{Workers: workers})
-				conns := make([]*client.Conn, clients)
-				for i := range conns {
-					c, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer c.Close()
-					conns[i] = c
-					if _, err := c.Query(`\q6`); err != nil { // warm engine view + session
-						b.Fatal(err)
-					}
-				}
-
-				var remaining atomic.Int64
-				remaining.Store(int64(b.N))
-				b.ResetTimer()
-				var wg sync.WaitGroup
-				errs := make(chan error, clients)
-				for _, c := range conns {
-					wg.Add(1)
-					go func(c *client.Conn) {
-						defer wg.Done()
-						for remaining.Add(-1) >= 0 {
-							if _, err := c.Query(`\q6`); err != nil {
-								errs <- err
-								return
-							}
-						}
-					}(c)
-				}
-				wg.Wait()
-				b.StopTimer()
-				close(errs)
-				for err := range errs {
-					b.Fatal(err)
-				}
-				qps := float64(b.N) / b.Elapsed().Seconds()
-				b.ReportMetric(qps, "queries/sec")
-				rows = append(rows, benchRow{
-					Workers:       workers,
-					Clients:       clients,
-					Queries:       b.N,
-					Seconds:       b.Elapsed().Seconds(),
-					QueriesPerSec: qps,
-				})
+				rows = append(rows, benchCell(b, workers, clients, 0))
 			})
 		}
+	}
+	// Mixed reader/writer matrix over the MVCC path: part of the 16
+	// sessions run explicit transactions (BEGIN; UPDATE a private nation
+	// row; COMMIT with its WAL fsync) while the rest keep reading Q6.
+	// Under the retired statement-scoped RWMutex the read columns would
+	// collapse toward the writer rate; under snapshots readers should hold
+	// close to the writers=0 cell. `make bench-txn` runs just this slice.
+	for _, writers := range []int{2, 8, 16} {
+		name := fmt.Sprintf("mixed/workers=4/clients=16/writers=%d", writers)
+		b.Run(name, func(b *testing.B) {
+			rows = append(rows, benchCell(b, 4, 16, writers))
+		})
 	}
 	writeBenchJSON(b, rows)
 }
 
+// benchCell measures one matrix cell: `clients` sessions over `workers`
+// workers, the first `writers` of them doing one explicit update
+// transaction per operation and the rest one Q6 read per operation.
+func benchCell(b *testing.B, workers, clients, writers int) benchRow {
+	_, addr := startServerCfg(b, server.Config{Workers: workers})
+	conns := make([]*client.Conn, clients)
+	for i := range conns {
+		c, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+		if _, err := c.Query(`\q6`); err != nil { // warm engine view + session
+			b.Fatal(err)
+		}
+	}
+
+	// Each writer owns a disjoint nation row, so the bench measures commit
+	// cost and snapshot churn, not first-updater-wins abort storms.
+	op := func(i int, c *client.Conn) error {
+		if i >= writers {
+			_, err := c.Query(`\q6`)
+			return err
+		}
+		if _, err := c.Begin(); err != nil {
+			return err
+		}
+		stmt := fmt.Sprintf("UPDATE nation SET n_name = 'B%d' WHERE n_nationkey = %d", i, i%25)
+		if _, err := c.Query(stmt); err != nil {
+			c.Rollback()
+			return err
+		}
+		return c.Commit()
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				if err := op(i, c); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+	qps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(qps, "queries/sec")
+	return benchRow{
+		Workers:       workers,
+		Clients:       clients,
+		Writers:       writers,
+		Queries:       b.N,
+		Seconds:       b.Elapsed().Seconds(),
+		QueriesPerSec: qps,
+	}
+}
+
 // writeBenchJSON writes the matrix to BENCH_server.json next to go.mod.
 // Sub-benchmarks rerun with growing b.N; only each cell's final (largest-N)
-// measurement is kept.
+// measurement is kept. Cells already in the file but not re-measured this
+// run survive, so a filtered run (`make bench-txn` benches only the mixed
+// slice) refreshes its cells without clobbering the rest of the matrix.
 func writeBenchJSON(b *testing.B, rows []benchRow) {
 	if len(rows) == 0 {
 		return
-	}
-	final := make(map[[2]int]benchRow, len(rows))
-	order := make([][2]int, 0, len(rows))
-	for _, r := range rows {
-		k := [2]int{r.Workers, r.Clients}
-		if _, seen := final[k]; !seen {
-			order = append(order, k)
-		}
-		final[k] = r
-	}
-	out := make([]benchRow, 0, len(order))
-	for _, k := range order {
-		out = append(out, final[k])
 	}
 	root, err := repoRoot()
 	if err != nil {
 		b.Logf("BENCH_server.json not written: %v", err)
 		return
+	}
+	path := filepath.Join(root, "BENCH_server.json")
+	final := make(map[[3]int]benchRow, len(rows))
+	var order [][3]int
+	add := func(r benchRow) {
+		k := [3]int{r.Workers, r.Clients, r.Writers}
+		if _, seen := final[k]; !seen {
+			order = append(order, k)
+		}
+		final[k] = r
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old struct {
+			Rows []benchRow `json:"rows"`
+		}
+		if json.Unmarshal(prev, &old) == nil {
+			for _, r := range old.Rows {
+				add(r)
+			}
+		}
+	}
+	for _, r := range rows {
+		add(r)
+	}
+	out := make([]benchRow, 0, len(order))
+	for _, k := range order {
+		out = append(out, final[k])
 	}
 	data, err := json.MarshalIndent(struct {
 		Benchmark string     `json:"benchmark"`
@@ -127,7 +184,6 @@ func writeBenchJSON(b *testing.B, rows []benchRow) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	path := filepath.Join(root, "BENCH_server.json")
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		b.Logf("BENCH_server.json not written: %v", err)
 		return

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strings"
 
 	"energydb/internal/db/value"
 	"energydb/internal/server/wire"
@@ -31,6 +32,9 @@ type Conn struct {
 	r   *bufio.Reader
 	w   *bufio.Writer
 	ack wire.HelloAck
+
+	txnID uint64
+	inTxn bool
 }
 
 // Result is one statement's answer.
@@ -99,6 +103,12 @@ func (c *Conn) Query(text string) (*Result, error) {
 	rs, ok := f.(*wire.ResultSet)
 	if !ok {
 		if e, isErr := f.(*wire.Error); isErr {
+			if strings.HasSuffix(e.Msg, wire.TxnRolledBackSuffix) {
+				// The server rolled the open transaction back with the
+				// failed statement; mirror it so InTxn stays honest.
+				c.inTxn = false
+				c.txnID = 0
+			}
 			return nil, &QueryError{Msg: e.Msg}
 		}
 		return nil, fmt.Errorf("client: expected ResultSet, got %v", f.FrameType())
@@ -112,6 +122,52 @@ func (c *Conn) Query(text string) (*Result, error) {
 		return nil, fmt.Errorf("client: expected EnergyReport, got %v", f.FrameType())
 	}
 	return &Result{Cols: rs.Cols, Rows: rs.Rows, Energy: *rep}, nil
+}
+
+// Begin opens an explicit transaction: until Commit or Rollback, the
+// session's statements read one pinned snapshot and its writes stay
+// invisible to other sessions. Returns the server-assigned transaction ID.
+func (c *Conn) Begin() (uint64, error) {
+	ack, err := c.txnCtl(wire.TxnBegin)
+	if err != nil {
+		return 0, err
+	}
+	return ack.TxnID, nil
+}
+
+// Commit publishes the open transaction's writes atomically.
+func (c *Conn) Commit() error {
+	_, err := c.txnCtl(wire.TxnCommit)
+	return err
+}
+
+// Rollback discards the open transaction's writes.
+func (c *Conn) Rollback() error {
+	_, err := c.txnCtl(wire.TxnRollback)
+	return err
+}
+
+// InTxn reports whether the session has an open explicit transaction, and
+// its ID when it does.
+func (c *Conn) InTxn() (uint64, bool) { return c.txnID, c.inTxn }
+
+func (c *Conn) txnCtl(op wire.TxnOp) (*wire.TxnAck, error) {
+	if err := c.send(&wire.TxnCtl{Op: op}); err != nil {
+		return nil, err
+	}
+	f, err := wire.Read(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch f := f.(type) {
+	case *wire.TxnAck:
+		c.txnID, c.inTxn = f.TxnID, f.Active
+		return f, nil
+	case *wire.Error:
+		return nil, &QueryError{Msg: f.Msg}
+	default:
+		return nil, fmt.Errorf("client: expected TxnAck, got %v", f.FrameType())
+	}
 }
 
 // Stats requests the server's observability snapshot (the STATS command):

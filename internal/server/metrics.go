@@ -88,6 +88,15 @@ func newMetrics(s *Server) *metrics {
 	r.GaugeFunc("energyd_engines", "Distinct (profile, setting, class) stores provisioned.", func() float64 {
 		return float64(s.Engines())
 	})
+	r.GaugeFunc("energyd_txns_active", "Explicit transactions currently open across all stores.", func() float64 {
+		return float64(s.TxnStats().Active)
+	})
+	r.GaugeFunc("energyd_txns_committed", "Transactions committed since server start, all stores.", func() float64 {
+		return float64(s.TxnStats().Committed)
+	})
+	r.GaugeFunc("energyd_txns_aborted", "Transactions aborted since server start, all stores.", func() float64 {
+		return float64(s.TxnStats().Aborted)
+	})
 	r.Gauge("energyd_workers", "Execution workers (simulated machines).").Set(float64(len(s.pool.workers)))
 	r.GaugeFunc("energyd_slowlog_slowest_seconds", "Worst statement wall time on the slow board.", m.qlog.SlowestWall)
 	r.GaugeFunc("energyd_slowlog_hottest_joules", "Worst statement E_active on the hot board.", m.qlog.HottestJoules)

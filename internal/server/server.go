@@ -23,9 +23,12 @@
 //     concurrently on other workers.
 //   - Table data is shared, not cloned: one engine.Shared store per
 //     negotiated (profile, setting, class), loaded once on the primary
-//     machine, with per-worker engine views bound to it. Statements hold
-//     the store's read lock for their whole execution; DDL/DML entry
-//     points take the write lock internally (see the engine package doc).
+//     machine, with per-worker engine views bound to it. Statements run
+//     under MVCC snapshots — each job binds the session's open
+//     transaction (or a fresh read snapshot) before touching tables, so
+//     readers never block writers and writers never block readers; only
+//     DDL takes the store's short catalog lock (see the engine package
+//     doc).
 //   - Sessions are assigned to a worker round-robin at handshake and stay
 //     there (sticky), so one session's statements retain protocol order.
 //     Within a worker, scheduling is fair round-robin over its sessions
@@ -60,6 +63,7 @@ import (
 	"energydb/internal/core"
 	"energydb/internal/cpusim"
 	"energydb/internal/db/engine"
+	"energydb/internal/db/txn"
 	"energydb/internal/mubench"
 	"energydb/internal/rapl"
 	"energydb/internal/server/wire"
@@ -363,6 +367,32 @@ func (s *Server) Engines() int {
 	return len(s.stores)
 }
 
+// TxnStats aggregates the explicit-transaction counters over every
+// provisioned store. Stores still loading are skipped — they cannot have
+// transactions yet.
+func (s *Server) TxnStats() txn.Stats {
+	s.mu.Lock()
+	ents := make([]*storeEntry, 0, len(s.stores))
+	for _, ent := range s.stores {
+		ents = append(ents, ent)
+	}
+	s.mu.Unlock()
+	var out txn.Stats
+	for _, ent := range ents {
+		select {
+		case <-ent.ready:
+		default:
+			continue
+		}
+		st := ent.shared.Txns.StatsSnapshot()
+		out.Active += st.Active
+		out.Started += st.Started
+		out.Committed += st.Committed
+		out.Aborted += st.Aborted
+	}
+	return out
+}
+
 // Stats assembles the observability snapshot the STATS command returns:
 // ledger totals with the Eq. 1 component split, the live metrics registry,
 // and the slow/hot query boards.
@@ -380,7 +410,12 @@ func (s *Server) Stats() *wire.StatsSnapshot {
 	}
 	s.mu.Unlock()
 	sort.Strings(engines)
+	txns := s.TxnStats()
 	return &wire.StatsSnapshot{
+		TxnsActive:      txns.Active,
+		TxnsStarted:     txns.Started,
+		TxnsCommitted:   txns.Committed,
+		TxnsAborted:     txns.Aborted,
 		Banner:          Banner,
 		Workers:         len(s.pool.workers),
 		Sessions:        nSessions,

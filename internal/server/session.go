@@ -14,6 +14,7 @@ import (
 	"energydb/internal/db/exec"
 	dbplan "energydb/internal/db/plan"
 	"energydb/internal/db/sql"
+	"energydb/internal/db/txn"
 	"energydb/internal/db/value"
 	"energydb/internal/obs"
 	"energydb/internal/server/wire"
@@ -32,6 +33,12 @@ type session struct {
 	wk   *worker
 	eng  *engine.Engine
 
+	// tx is the session's open explicit transaction, nil in autocommit.
+	// The connection goroutine blocks in submit while any job runs, so the
+	// worker jobs that write it and the connection goroutine that checks it
+	// never race.
+	tx *txn.Txn
+
 	ledger Ledger
 }
 
@@ -39,6 +46,19 @@ type session struct {
 // against the worker's other sessions.
 func (s *session) submit(fn func()) error {
 	return s.wk.sched.submit(s.id, fn)
+}
+
+// bind establishes this statement's snapshot on the worker-shared engine:
+// the open transaction's pinned snapshot, or a fresh read snapshot under
+// autocommit. Engines are cached per worker and shared by its sessions, so
+// every job must bind before touching tables. Must run on the worker
+// goroutine.
+func (s *session) bind() {
+	if s.tx != nil {
+		s.eng.Bind(s.tx)
+	} else {
+		s.eng.Unbind()
+	}
 }
 
 // armRead applies the per-frame read deadline, if configured.
@@ -61,6 +81,13 @@ func (s *session) run() {
 	}
 	s.srv.cfg.Logf("session %d: connected from %s (worker %d)",
 		s.id, s.conn.RemoteAddr(), s.wk.id)
+	// A transaction left open by a dropped connection must not pin the
+	// snapshot horizon (or hold first-updater write claims) forever.
+	defer func() {
+		if s.tx != nil {
+			s.txnCtl(wire.TxnRollback)
+		}
+	}()
 
 	for {
 		s.armRead()
@@ -75,6 +102,19 @@ func (s *session) run() {
 			return
 		case *wire.Query:
 			if err := s.serveQuery(f.Text); err != nil {
+				s.srv.cfg.Logf("session %d: write: %v", s.id, err)
+				return
+			}
+		case *wire.TxnCtl:
+			id, active, _, terr := s.txnCtl(f.Op)
+			if terr != nil {
+				s.srv.obs.statementError("txn")
+				if err := s.send(&wire.Error{Msg: terr.Error()}); err != nil {
+					return
+				}
+				break
+			}
+			if err := s.send(&wire.TxnAck{TxnID: id, Active: active}); err != nil {
 				s.srv.cfg.Logf("session %d: write: %v", s.id, err)
 				return
 			}
@@ -220,12 +260,138 @@ func (s *session) retire(name, text, planSummary string, rows uint64, wallSecond
 	s.wk.tickGovernor()
 }
 
+// txnCtl runs one transaction-control operation as a profiled job on the
+// session's worker. Commit fsyncs the WAL and rollback walks the undo chain,
+// so both charge energy; retiring the operation as a statement keeps the
+// session ledgers partitioning the server total exactly.
+func (s *session) txnCtl(op wire.TxnOp) (id uint64, active bool, b core.Breakdown, err error) {
+	var ctlErr error
+	if submitErr := s.submit(func() {
+		name := strings.ToLower(op.String())
+		start := time.Now()
+		switch op {
+		case wire.TxnBegin:
+			if s.tx != nil {
+				ctlErr = fmt.Errorf("transaction %d already open", s.tx.ID())
+				return
+			}
+			b = s.wk.prof.Profile(name, func() {
+				s.tx = s.eng.Begin()
+			})
+		case wire.TxnCommit, wire.TxnRollback:
+			if s.tx == nil {
+				ctlErr = errors.New("no transaction open")
+				return
+			}
+			tx := s.tx
+			s.tx = nil
+			s.eng.Bind(tx)
+			b = s.wk.prof.Profile(name, func() {
+				if op == wire.TxnCommit {
+					ctlErr = s.eng.Commit(tx)
+				} else {
+					ctlErr = s.eng.Rollback(tx)
+				}
+			})
+		default:
+			ctlErr = fmt.Errorf("unknown txn op %v", op)
+			return
+		}
+		// Retire even when commit/rollback errored: the WAL fsync or undo
+		// walk already charged the meter, and unretired energy would break
+		// the ledger partition.
+		s.retire(name, name, "", 0, time.Since(start).Seconds(), b)
+		if s.tx != nil {
+			id, active = s.tx.ID(), true
+		}
+	}); submitErr != nil {
+		return 0, false, b, submitErr
+	}
+	return id, active, b, ctlErr
+}
+
+// txnStmt serves SQL BEGIN / COMMIT / ROLLBACK arriving as Query frames,
+// reporting the new transaction state as a one-row result set.
+func (s *session) txnStmt(op wire.TxnOp) (name string, cols []string, rows []value.Row, b core.Breakdown, class string, err error) {
+	name = strings.ToLower(op.String())
+	id, active, b, err := s.txnCtl(op)
+	if err != nil {
+		return "", nil, nil, b, "txn", err
+	}
+	status := op.String()
+	if active {
+		status = fmt.Sprintf("%s (txn %d)", op.String(), id)
+	}
+	return name, []string{"status"}, []value.Row{{value.Str(status)}}, b, "", nil
+}
+
+// executeDML runs INSERT / UPDATE / DELETE on the session's worker. Under an
+// open explicit transaction the writes join it; otherwise the statement
+// autocommits. A failed statement may have left writes in the transaction
+// (half an UPDATE before a write-write conflict), so any error under an
+// explicit transaction rolls the whole transaction back — committing a torn
+// statement is never an option under snapshot isolation.
+func (s *session) executeDML(stmt sql.Statement, text string) (name string, cols []string, rows []value.Row, b core.Breakdown, class string, err error) {
+	switch stmt.(type) {
+	case *sql.InsertStmt:
+		name = "insert"
+	case *sql.UpdateStmt:
+		name = "update"
+	default:
+		name = "delete"
+	}
+	var affected int
+	var runErr error
+	rolledBack := false
+	if submitErr := s.submit(func() {
+		start := time.Now()
+		s.bind()
+		cancel := new(atomic.Bool)
+		s.eng.Ctx.Cancel = cancel
+		var watchdog *time.Timer
+		if d := s.srv.cfg.StmtTimeout; d > 0 {
+			watchdog = time.AfterFunc(d, func() { cancel.Store(true) })
+		}
+		b = s.wk.prof.Profile(name, func() {
+			affected, runErr = dbplan.ExecWrite(s.eng, s.tx, stmt)
+		})
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		s.eng.Ctx.Cancel = nil
+		if runErr != nil && s.tx != nil {
+			tx := s.tx
+			s.tx = nil
+			s.eng.Bind(tx)
+			rb := s.wk.prof.Profile("rollback", func() { s.eng.Rollback(tx) })
+			s.retire("rollback", "rollback", "", 0, time.Since(start).Seconds(), rb)
+			rolledBack = true
+		}
+		if runErr == nil {
+			s.retire(name, text, "", uint64(affected), time.Since(start).Seconds(), b)
+		}
+	}); submitErr != nil {
+		return "", nil, nil, b, "exec", submitErr
+	}
+	if errors.Is(runErr, exec.ErrCanceled) {
+		return "", nil, nil, b, "timeout", fmt.Errorf("statement timeout: canceled after %v", s.srv.cfg.StmtTimeout)
+	}
+	if runErr != nil {
+		if rolledBack {
+			runErr = fmt.Errorf("%w %s", runErr, wire.TxnRolledBackSuffix)
+		}
+		return "", nil, nil, b, "exec", runErr
+	}
+	return name, []string{"rows_affected"}, []value.Row{{value.Int(int64(affected))}}, b, "", nil
+}
+
 // execute runs the statement as jobs on the session's worker, returning the
 // collected rows and the Eq. 1 breakdown of its measured Active energy.
-// Plan building and execution both hold the store's statement-scoped read
-// lock, so concurrent DDL/DML on other workers cannot shift data mid-query.
-// class labels failures for the error counters (parse | plan | exec |
-// timeout); it is meaningless when err is nil.
+// Plan building and execution each bind the session's snapshot first — the
+// open transaction's pinned one, or a fresh read snapshot — so concurrent
+// writers on other workers publish versions this statement simply does not
+// see, instead of blocking it. class labels failures for the error counters
+// (parse | plan | exec | timeout | txn); it is meaningless when err is nil.
 func (s *session) execute(text string) (name string, cols []string, rows []value.Row, b core.Breakdown, class string, err error) {
 	text = strings.TrimSpace(text)
 	if text == "" {
@@ -246,9 +412,7 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 		}
 		name = fmt.Sprintf("tpch-q%d", id)
 		if submitErr := s.submit(func() {
-			sh := s.eng.Shared()
-			sh.RLock()
-			defer sh.RUnlock()
+			s.bind()
 			plan, buildErr = q.Build(s.eng)
 		}); submitErr != nil {
 			return "", nil, nil, b, "exec", submitErr
@@ -258,14 +422,25 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 		if parseErr != nil {
 			return "", nil, nil, b, "parse", parseErr
 		}
-		if ex, ok := stmt.(*sql.ExplainStmt); ok {
-			return s.explain(ex, text)
+		var sel *sql.SelectStmt
+		switch st := stmt.(type) {
+		case *sql.ExplainStmt:
+			return s.explain(st, text)
+		case *sql.BeginStmt:
+			return s.txnStmt(wire.TxnBegin)
+		case *sql.CommitStmt:
+			return s.txnStmt(wire.TxnCommit)
+		case *sql.RollbackStmt:
+			return s.txnStmt(wire.TxnRollback)
+		case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+			return s.executeDML(st, text)
+		case *sql.SelectStmt:
+			sel = st
+		default:
+			return "", nil, nil, b, "parse", fmt.Errorf("unsupported statement %T", stmt)
 		}
-		sel := stmt.(*sql.SelectStmt)
 		if submitErr := s.submit(func() {
-			sh := s.eng.Shared()
-			sh.RLock()
-			defer sh.RUnlock()
+			s.bind()
 			var p *dbplan.Prepared
 			if p, buildErr = dbplan.Prepare(s.eng, sel); buildErr == nil {
 				planSummary = p.Summary()
@@ -283,9 +458,7 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 	var runErr error
 	if submitErr := s.submit(func() {
 		start := time.Now()
-		sh := s.eng.Shared()
-		sh.RLock()
-		defer sh.RUnlock()
+		s.bind()
 		// A fresh per-statement cancel flag: a watchdog that fires late
 		// flips a flag no longer wired to anything, so it can never
 		// poison a later statement.
@@ -338,9 +511,7 @@ func (s *session) explain(ex *sql.ExplainStmt, text string) (name string, cols [
 	planned := false // Prepare succeeded: later failures are execution errors
 	if submitErr := s.submit(func() {
 		start := time.Now()
-		sh := s.eng.Shared()
-		sh.RLock()
-		defer sh.RUnlock()
+		s.bind()
 		if !ex.Energy {
 			var summary string
 			b = s.wk.prof.Profile(name, func() {

@@ -36,6 +36,14 @@ type StatsSnapshot struct {
 	// (E_L1D, E_Reg2L1D, E_L2, E_L3, E_mem, E_pf, E_stall, E_other).
 	ComponentJoules map[string]float64 `json:"component_joules"`
 
+	// TxnsActive..TxnsAborted are the explicit-transaction counters summed
+	// over every provisioned store: open right now, and started /
+	// committed / aborted since server start.
+	TxnsActive    int64  `json:"txns_active"`
+	TxnsStarted   uint64 `json:"txns_started"`
+	TxnsCommitted uint64 `json:"txns_committed"`
+	TxnsAborted   uint64 `json:"txns_aborted"`
+
 	// Metrics is the full registry snapshot — the same series /metrics
 	// exposes in Prometheus text format.
 	Metrics obs.Snapshot `json:"metrics"`

@@ -53,6 +53,8 @@ const (
 	TypeQuit         Type = 0x07 // client → server: orderly goodbye
 	TypeStats        Type = 0x08 // client → server: request a server stats snapshot
 	TypeStatsReply   Type = 0x09 // server → client: JSON stats snapshot
+	TypeTxnCtl       Type = 0x0A // client → server: BEGIN / COMMIT / ROLLBACK
+	TypeTxnAck       Type = 0x0B // server → client: transaction state after a TxnCtl
 )
 
 // String names the frame type.
@@ -76,6 +78,10 @@ func (t Type) String() string {
 		return "Stats"
 	case TypeStatsReply:
 		return "StatsReply"
+	case TypeTxnCtl:
+		return "TxnCtl"
+	case TypeTxnAck:
+		return "TxnAck"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", byte(t))
 	}
@@ -288,6 +294,12 @@ func (e *EnergyReport) decode(b *buf) (err error) {
 	return err
 }
 
+// TxnRolledBackSuffix ends an Error message when the statement's failure
+// also rolled back the session's open transaction (a failed DML must never
+// leave a torn transaction commitable). Clients watch for it to keep their
+// local transaction state honest without a wire format change.
+const TxnRolledBackSuffix = "(transaction rolled back)"
+
 // Error reports a statement or protocol failure. The session stays open
 // after a statement error; protocol errors close it.
 type Error struct {
@@ -341,6 +353,86 @@ func (s *StatsReply) Snapshot() (*StatsSnapshot, error) {
 		return nil, fmt.Errorf("wire: bad StatsReply payload: %w", err)
 	}
 	return &out, nil
+}
+
+// TxnOp selects a transaction-control operation.
+type TxnOp byte
+
+// Transaction-control operations.
+const (
+	TxnBegin    TxnOp = 1
+	TxnCommit   TxnOp = 2
+	TxnRollback TxnOp = 3
+)
+
+// String names the operation.
+func (op TxnOp) String() string {
+	switch op {
+	case TxnBegin:
+		return "BEGIN"
+	case TxnCommit:
+		return "COMMIT"
+	case TxnRollback:
+		return "ROLLBACK"
+	default:
+		return fmt.Sprintf("TxnOp(%d)", byte(op))
+	}
+}
+
+// TxnCtl controls the session's explicit transaction: BEGIN opens one
+// (statements then read a pinned snapshot and write under its ID until it
+// closes), COMMIT publishes it, ROLLBACK discards it. SQL BEGIN / COMMIT /
+// ROLLBACK statements arriving as Query frames are handled identically;
+// this frame lets clients drive transactions without string parsing.
+type TxnCtl struct {
+	Op TxnOp
+}
+
+// FrameType implements Frame.
+func (*TxnCtl) FrameType() Type { return TypeTxnCtl }
+
+func (t *TxnCtl) encode(b *buf) { b.putByte(byte(t.Op)) }
+func (t *TxnCtl) decode(b *buf) error {
+	v, err := b.getByte()
+	if err != nil {
+		return err
+	}
+	if TxnOp(v) < TxnBegin || TxnOp(v) > TxnRollback {
+		return fmt.Errorf("unknown txn op %d", v)
+	}
+	t.Op = TxnOp(v)
+	return nil
+}
+
+// TxnAck answers a TxnCtl: the session's transaction ID (0 when none is
+// open) and whether a transaction is active after the operation.
+type TxnAck struct {
+	TxnID  uint64
+	Active bool
+}
+
+// FrameType implements Frame.
+func (*TxnAck) FrameType() Type { return TypeTxnAck }
+
+func (t *TxnAck) encode(b *buf) {
+	b.putU64(t.TxnID)
+	active := byte(0)
+	if t.Active {
+		active = 1
+	}
+	b.putByte(active)
+}
+
+func (t *TxnAck) decode(b *buf) (err error) {
+	if t.TxnID, err = b.getU64(); err != nil {
+		return err
+	}
+	v, err := b.getByte()
+	if err != nil {
+		return err
+	}
+	t.Active = v != 0
+	return nil
 }
 
 // Write frames and sends one message.
@@ -411,6 +503,10 @@ func Decode(data []byte) (Frame, error) {
 		f = &Stats{}
 	case TypeStatsReply:
 		f = &StatsReply{}
+	case TypeTxnCtl:
+		f = &TxnCtl{}
+	case TypeTxnAck:
+		f = &TxnAck{}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type 0x%02x", t)
 	}

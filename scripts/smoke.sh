@@ -29,10 +29,14 @@ until curl -fsS "http://127.0.0.1:$MPORT/healthz" >/dev/null 2>&1; do
 done
 echo "smoke: /healthz ok"
 
-# Run statements through the real wire protocol, including \stats.
+# Run statements through the real wire protocol, including a committed
+# transaction and \stats.
 "$TMP/dbshell" -connect "127.0.0.1:$PORT" -db sqlite -class 10MB >"$TMP/shell.out" 2>&1 <<'EOF'
 \q6
 SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag
+BEGIN
+UPDATE nation SET n_name = 'SMOKE' WHERE n_nationkey = 0
+COMMIT
 \stats
 \quit
 EOF
@@ -46,13 +50,26 @@ grep -q "hottest (E_active):" "$TMP/shell.out" || {
   cat "$TMP/shell.out" >&2
   exit 1
 }
-echo "smoke: statements + \\stats ok"
+grep -q "rows_affected" "$TMP/shell.out" || {
+  echo "smoke: transactional UPDATE reported no affected rows" >&2
+  cat "$TMP/shell.out" >&2
+  exit 1
+}
+grep -q "txns: 0 active, 1 started, 1 committed, 0 aborted" "$TMP/shell.out" || {
+  echo "smoke: \\stats txn counters wrong" >&2
+  cat "$TMP/shell.out" >&2
+  exit 1
+}
+echo "smoke: statements + transaction + \\stats ok"
 
 # Scrape and check the core families carry live values.
 curl -fsS "http://127.0.0.1:$MPORT/metrics" >"$TMP/metrics.out"
 for family in \
-  'energyd_statements_total{status="ok"} 2' \
-  'energyd_statement_joules_count 2' \
+  'energyd_statements_total{status="ok"} 5' \
+  'energyd_statement_joules_count 5' \
+  'energyd_txns_active 0' \
+  'energyd_txns_committed 1' \
+  'energyd_txns_aborted 0' \
   'energyd_statement_wall_seconds_bucket' \
   'energyd_energy_joules_total{component="E_L1D"}' \
   'energyd_l1d_share' \
