@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck vulncheck race check bench bench-txn fuzz smoke
+.PHONY: all build test vet lint staticcheck vulncheck race check bench bench-txn bench-join fuzz smoke
 
 all: build
 
@@ -45,9 +45,12 @@ vulncheck:
 # The race-detector pass covers the whole module; no package is carved
 # out. -short skips only the single-goroutine simulation sweeps (harness
 # figures/tables, tpch goldens), which have nothing for the race detector
-# to observe but would dominate the instrumented wall clock.
+# to observe but would dominate the instrumented wall clock. The server
+# package's instrumented concurrency matrix alone runs ~11 minutes on a
+# single-core host, so the per-package timeout is raised past Go's 10m
+# default rather than letting slow machines fail spuriously.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 30m ./...
 
 check: vet lint staticcheck test race
 
@@ -63,6 +66,7 @@ smoke:
 bench:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput -benchtime 2s ./internal/server/
 	$(GO) test -run xxx -bench BenchmarkVectorThroughput -benchtime 1s ./internal/db/vec/
+	$(GO) test -run xxx -bench BenchmarkVectorJoinSort -benchtime 1s ./internal/db/vec/
 
 # Mixed reader/writer slice of the server matrix only: 16 sessions over 4
 # workers with 2/8/16 of them running explicit update transactions. This
@@ -74,6 +78,13 @@ BENCHTIME ?= 1s
 
 bench-txn:
 	$(GO) test -run xxx -bench 'BenchmarkServerThroughput/mixed' -benchtime $(BENCHTIME) ./internal/server/
+
+# Join/sort slice of the vector sweep only: lineitem ⋈ orders through the
+# row and batch hash joins plus the two-key lineitem sort, at batch widths
+# 64/256/1024. Merges just those cells into BENCH_vector.json (the
+# filter_agg slice is left untouched), so partial reruns are safe.
+bench-join:
+	$(GO) test -run xxx -bench BenchmarkVectorJoinSort -benchtime $(BENCHTIME) ./internal/db/vec/
 
 # Short fuzz pass over every fuzz target: the SQL parser (raw client text),
 # the planner pipeline (parse → optimize → build → execute), the row-versus-

@@ -56,7 +56,12 @@ func (j *HashJoin) Open() error {
 	h := j.Ctx.M.Hier
 	for i, r := range rows {
 		j.Ctx.PollEvery(i)
-		key := joinKey(r, j.BuildKey)
+		key, ok := joinKey(r, j.BuildKey)
+		if !ok {
+			// A NULL key can never satisfy an equality, so the row can
+			// never match; keep it out of the table entirely.
+			continue
+		}
 		j.table[key] = append(j.table[key], r)
 		// Hash, bucket write, entry write.
 		j.Ctx.Compute(3)
@@ -98,8 +103,12 @@ func (j *HashJoin) Next() (value.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		key, ok := joinKey(row, j.ProbeKey)
+		if !ok {
+			// NULL never equals anything (not even NULL): skip the probe.
+			continue
+		}
 		j.probeRow = row.Clone()
-		key := joinKey(row, j.ProbeKey)
 		j.Ctx.Compute(2) // hash the probe key
 		// Bucket head probe: dependent load.
 		h.Load(j.tableBase+key.Hash()%j.tableSize, true)
@@ -182,6 +191,11 @@ func (j *IndexJoin) Next() (value.Row, bool, error) {
 		row, ok, err := j.Outer.Next()
 		if err != nil || !ok {
 			return nil, false, err
+		}
+		if row[j.OuterKey].IsNull() {
+			// Same NULL-key semantics as the hash join: an equality on a
+			// NULL outer key matches nothing.
+			continue
 		}
 		j.outerRow = row.Clone()
 		j.matches = j.Index.Lookup(row[j.OuterKey])
@@ -268,10 +282,17 @@ func (j *NestedLoopJoin) Next() (value.Row, bool, error) {
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error { return j.Outer.Close() }
 
-func joinKey(r value.Row, idx []int) value.Key {
+// joinKey builds the equijoin key for r over the key columns idx. ok is
+// false when any key column is NULL: SQL equality is never true for NULL
+// (including NULL = NULL), so a NULL key can neither enter a hash table nor
+// match out of one.
+func joinKey(r value.Row, idx []int) (value.Key, bool) {
 	vals := make([]value.Value, len(idx))
 	for i, j := range idx {
+		if r[j].IsNull() {
+			return value.Key{}, false
+		}
 		vals[i] = r[j]
 	}
-	return value.MakeKey(vals...)
+	return value.MakeKey(vals...), true
 }

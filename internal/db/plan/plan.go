@@ -143,19 +143,21 @@ func (p *Prepared) instantiate(n *Node, ms *exec.MeterSet, meters map[*Node]*exe
 
 // instantiateVec builds the vectorized executor for a vector-mode node.
 // chooseModes guarantees every child of a vector node is itself in vector
-// mode, so the recursion bottoms out at the sequential scan.
+// mode, so the recursion bottoms out at the sequential scans and batches
+// move edge to edge — through joins and sorts included — with no row
+// adapter in between.
 func (p *Prepared) instantiateVec(n *Node, ms *exec.MeterSet, meters map[*Node]*exec.Meter) (vec.Operator, error) {
 	e := p.E
-	var child vec.Operator
+	kids := make([]vec.Operator, len(n.Kids))
 	var kidMeters []*exec.Meter
-	if len(n.Kids) == 1 {
-		var err error
-		child, err = p.instantiateVec(n.Kids[0], ms, meters)
+	for i, k := range n.Kids {
+		kid, err := p.instantiateVec(k, ms, meters)
 		if err != nil {
 			return nil, err
 		}
+		kids[i] = kid
 		if ms != nil {
-			kidMeters = append(kidMeters, meters[n.Kids[0]])
+			kidMeters = append(kidMeters, meters[k])
 		}
 	}
 	var op vec.Operator
@@ -163,14 +165,22 @@ func (p *Prepared) instantiateVec(n *Node, ms *exec.MeterSet, meters map[*Node]*
 	case opSeqScan:
 		op = &vec.Scan{Ctx: e.Ctx, File: n.Table.File, Pred: n.Filter}
 	case opFilter:
-		op = &vec.Filter{Ctx: e.Ctx, Child: child, Pred: n.Filter}
+		op = &vec.Filter{Ctx: e.Ctx, Child: kids[0], Pred: n.Filter}
 	case opPrune:
-		op = &vec.Prune{Ctx: e.Ctx, Child: child, Cols: n.Cols}
+		op = &vec.Prune{Ctx: e.Ctx, Child: kids[0], Cols: n.Cols}
 	case opProject:
-		op = &vec.Project{Ctx: e.Ctx, Child: child, Exprs: n.Exprs, Names: n.Names}
+		op = &vec.Project{Ctx: e.Ctx, Child: kids[0], Exprs: n.Exprs, Names: n.Names}
 	case opAggregate:
-		a := &vec.Agg{Ctx: e.Ctx, Child: child, GroupBy: n.GroupExprs, Aggs: n.Aggs}
+		a := &vec.Agg{Ctx: e.Ctx, Child: kids[0], GroupBy: n.GroupExprs, Aggs: n.Aggs}
 		op = &vec.Project{Ctx: e.Ctx, Child: a, Exprs: n.PostExprs, Names: n.PostNames}
+	case opHashJoin:
+		op = &vec.HashJoin{
+			Ctx: e.Ctx, Build: kids[1], Probe: kids[0],
+			BuildKey: []int{n.InnerKey}, ProbeKey: []int{n.OuterKey},
+			Residual: n.Filter,
+		}
+	case opSort:
+		op = &vec.Sort{Ctx: e.Ctx, Child: kids[0], Keys: n.SortKeys}
 	default:
 		return nil, fmt.Errorf("plan: no vectorized implementation for %s", n.Title())
 	}

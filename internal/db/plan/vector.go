@@ -18,16 +18,18 @@ import (
 // does not amortize), large scans go vector.
 //
 // A vectorized operator exchanges columnar batches, so it can only stack on
-// a vectorized child; chains are rooted at sequential scans and adapted back
-// to rows (charge-free) where a row-only parent — sort, join, limit — takes
-// over.
+// a vectorized child; chains are rooted at sequential scans — and, with the
+// batch-first join and sort, can carry batches edge to edge through hash
+// joins (both inputs vectorized) and sorts — adapted back to rows
+// (charge-free) only where a row-only parent, or the drain loop at the top,
+// takes over.
 
 // vecEligibleKind reports whether the node kind has a vectorized
 // implementation at all (used by EXPLAIN to decide which nodes carry a mode
 // annotation).
 func vecEligibleKind(k opKind) bool {
 	switch k {
-	case opSeqScan, opFilter, opPrune, opProject, opAggregate:
+	case opSeqScan, opFilter, opPrune, opProject, opAggregate, opHashJoin, opSort:
 		return true
 	}
 	return false
@@ -116,6 +118,29 @@ func (pc *planCtx) chooseModes(n *Node) {
 			}
 		}
 		vecEJ, lz = pc.costVecAggregate(n)
+	case opHashJoin:
+		if n.Kids[0].Mode != ModeVector || n.Kids[1].Mode != ModeVector || !supportedExpr(n.Filter) {
+			return
+		}
+		// A build side smaller than one batch never fills a single build
+		// chunk: the batched build degenerates to the row path plus extra
+		// buffering, and at that size the estimator is below its resolution
+		// (one dispatch either way decides the comparison). Keep such joins
+		// on the row path.
+		if n.Kids[1].EstRows < pc.batchWidth() {
+			return
+		}
+		vecEJ, lz = pc.costVecHashJoin(n)
+	case opSort:
+		if n.Kids[0].Mode != ModeVector {
+			return
+		}
+		for _, k := range n.SortKeys {
+			if !supportedExpr(k.Expr) {
+				return
+			}
+		}
+		vecEJ, lz = pc.costVecSort(n)
 	default:
 		return
 	}
@@ -357,4 +382,111 @@ func (pc *planCtx) costVecAggregate(n *Node) (float64, *lazyBatch) {
 		pc.vecExpr(&a, e, gBatches, groups)
 	}
 	return pc.c.price(a), nil
+}
+
+// costVecHashJoin predicts the batch-at-a-time hash join, mirroring
+// vec.HashJoin's charging: the build side is collected and hashed in chunks
+// (bulk buffer copy and hash arithmetic, per-row dependent bucket accesses
+// into the same simulated table the row join probes), each probe batch runs
+// one key-hash kernel plus a dependent bucket-head load per element, and
+// every match is gathered — one primitive per output column per output
+// batch — into a lazily row-backed output batch, so only the probe key
+// columns materialize here and the parent pays for the columns it touches.
+// The per-tuple dispatch, probe-row clone and per-match output copy of the
+// row join are gone; for tiny inputs the fixed per-batch dispatches do not
+// amortize and the row estimate wins.
+func (pc *planCtx) costVecHashJoin(n *Node) (float64, *lazyBatch) {
+	var a est
+	buildRows := n.Kids[1].EstRows
+	probeRows := n.Kids[0].EstRows
+	matches := n.EstRows
+	tableBytes := (buildRows + 1) * 32
+	buildBatches := pc.batchesFor(buildRows)
+	probeBatches := pc.batchesFor(probeRows)
+	outBatches := pc.batchesFor(matches)
+	probeCols := float64(len(n.Kids[0].schema.Columns))
+	buildCols := float64(len(n.Kids[1].schema.Columns))
+	rowLines := math.Ceil(float64(n.Kids[1].schema.RowWidth()) / 64)
+
+	// Build: a collect dispatch and a chunk dispatch per build batch, the
+	// row-buffer copy, bulk key loads and hash arithmetic, then a dependent
+	// bucket load and an entry store per row.
+	pc.c.tuple(&a, 2*buildBatches)
+	a.reg2 += buildRows * rowLines
+	a.l1d += buildRows
+	a.add += 3 * buildRows
+	pc.c.randLoad(&a, buildRows, tableBytes)
+	a.reg2 += buildRows
+
+	// Probe: the key-hash kernel materializes only the probe key column of a
+	// lazily backed probe batch.
+	lz := cloneLazy(pc.lazy[n.Kids[0]])
+	pc.vecMaterialize(&a, lz, map[int]bool{n.OuterKey: true})
+	// Key-hash kernel per probe batch plus the dependent bucket-head loads.
+	pc.c.tuple(&a, probeBatches)
+	a.l1d += probeRows * vec.KernelLoadsPerVal
+	a.add += 2 * probeRows
+	pc.c.randLoad(&a, probeRows, tableBytes)
+
+	// Matches: the bucket-chain chase stays per element; the gather is one
+	// primitive per output column per batch (source load, move, store), and
+	// the output batch comes out lazily backed by the assembled rows.
+	pc.c.randLoad(&a, matches, tableBytes)
+	pc.c.tuple(&a, outBatches*(probeCols+buildCols))
+	a.l1d += matches * (probeCols + buildCols) * vec.KernelLoadsPerVal
+	a.add += matches * (probeCols + buildCols)
+	a.reg2 += matches * (probeCols + buildCols) * vec.KernelStoresPerVal
+
+	// Residual predicate, vectorized over the gathered output batch: its
+	// columns materialize from the backing rows first.
+	outLz := &lazyBatch{mat: map[int]bool{}, rows: matches}
+	if n.Filter != nil {
+		cols := map[int]bool{}
+		exprCols(n.Filter, cols)
+		pc.vecMaterialize(&a, outLz, cols)
+		pc.vecPred(&a, n.Filter, outBatches, matches, matches)
+	}
+	return pc.c.price(a), outLz
+}
+
+// costVecSort predicts the batch-at-a-time sort, mirroring vec.Sort: bulk
+// key extraction (expression kernels plus one packing primitive per key per
+// batch), the chunked sort-buffer fill, the same O(n log n) comparator
+// costs as the row sort, and a lazily backed emit — one dispatch and a
+// streaming read of the sorted run per output batch, with no per-row output
+// copy. The output batch is backed by the sorted rows, so parent kernels
+// pay materialization only for the columns they touch.
+func (pc *planCtx) costVecSort(n *Node) (float64, *lazyBatch) {
+	var a est
+	lz := cloneLazy(pc.lazy[n.Kids[0]])
+	cols := map[int]bool{}
+	for _, k := range n.SortKeys {
+		exprCols(k.Expr, cols)
+	}
+	pc.vecMaterialize(&a, lz, cols)
+	in := n.Kids[0].EstRows
+	batches := pc.batchesFor(in)
+	nkeys := float64(len(n.SortKeys))
+	for _, k := range n.SortKeys {
+		pc.vecExpr(&a, k.Expr, batches, in)
+	}
+	// Key packing: one primitive per key per batch.
+	pc.c.tuple(&a, batches*nkeys)
+	a.l1d += in * nkeys * vec.KernelLoadsPerVal
+	a.add += in * nkeys
+	a.reg2 += in * nkeys * vec.KernelStoresPerVal
+	// Collect dispatch per batch, then the chunked sort-buffer fill.
+	pc.c.tuple(&a, 2*batches)
+	a.reg2 += in
+	// Ordering pass: identical to the row sort's comparator costs.
+	if in > 1 {
+		compares := in * math.Log2(in)
+		pc.c.randLoad(&a, 2*compares, in*16)
+		a.add += compares * nkeys
+	}
+	a.reg2 += in // final placement (the ordering vector store)
+	// Emit: one dispatch and a streaming run read per output batch.
+	pc.c.tuple(&a, pc.batchesFor(n.EstRows))
+	a.l1d += in * 16 / 64
+	return pc.c.price(a), &lazyBatch{mat: map[int]bool{}, rows: n.EstRows}
 }

@@ -128,6 +128,103 @@ func TestVectorPlanMatchesRowPlan(t *testing.T) {
 	}
 }
 
+// joinVecEngine builds a PostgreSQL-profile engine with an unindexed
+// dim/facts pair, so the optimizer's join choice is a hash join and the
+// row-versus-vector decision is exercised on it (the SQLite profile prefers
+// index joins whenever an index exists).
+func joinVecEngine(t *testing.T, dimRows, factRows int) *engine.Engine {
+	t.Helper()
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.PostgreSQL, m, engine.SettingBaseline)
+	dim := e.CreateTable("dim", catalog.NewSchema(
+		catalog.Column{Name: "did", Type: value.TypeInt},
+		catalog.Column{Name: "label", Type: value.TypeStr, Width: 8},
+	))
+	for i := 0; i < dimRows; i++ {
+		e.Insert(dim, value.Row{value.Int(int64(i)), value.Str([]string{"a", "b", "c"}[i%3])})
+	}
+	facts := e.CreateTable("facts", catalog.NewSchema(
+		catalog.Column{Name: "id", Type: value.TypeInt},
+		catalog.Column{Name: "grp", Type: value.TypeInt},
+		catalog.Column{Name: "amount", Type: value.TypeFloat},
+	))
+	for i := 0; i < factRows; i++ {
+		e.Insert(facts, value.Row{
+			value.Int(int64(i)),
+			value.Int(int64(i % dimRows)),
+			value.Float(float64(i%89) / 3),
+		})
+	}
+	return e
+}
+
+const joinQuery = "SELECT id, label FROM facts JOIN dim ON grp = did ORDER BY amount DESC"
+
+// TestJoinSortModeChoice checks the extended crossover model: with both join
+// inputs large the hash join and the sort above it go vector, while a build
+// side smaller than one batch keeps its scan — and therefore the join — on
+// the row path (the ISSUE's tiny-cardinality join regression).
+func TestJoinSortModeChoice(t *testing.T) {
+	p := prepare(t, joinVecEngine(t, 4000, 6000), joinQuery)
+	join := findNode(p.Root, opHashJoin)
+	srt := findNode(p.Root, opSort)
+	if join == nil || srt == nil {
+		t.Fatalf("plan shape:\n%s", p.Summary())
+	}
+	if join.Mode != ModeVector {
+		t.Errorf("big hash join chose %v, want vector:\n%s", join.Mode, p.Summary())
+	}
+	if srt.Mode != ModeVector {
+		t.Errorf("big sort chose %v, want vector:\n%s", srt.Mode, p.Summary())
+	}
+
+	tiny := prepare(t, joinVecEngine(t, 8, 6000), joinQuery)
+	tj := findNode(tiny.Root, opHashJoin)
+	if tj == nil {
+		t.Fatalf("tiny plan shape:\n%s", tiny.Summary())
+	}
+	if tj.Mode != ModeRow {
+		t.Errorf("8-row-build hash join chose %v, want row fallback:\n%s", tj.Mode, tiny.Summary())
+	}
+}
+
+// TestVectorJoinPlanMatchesRowPlan runs the join+sort statement through the
+// vector plan and the forced-row plan and requires identical result sets.
+func TestVectorJoinPlanMatchesRowPlan(t *testing.T) {
+	ev := joinVecEngine(t, 4000, 6000)
+	got, _, err := Run(ev, joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := prepare(t, ev, joinQuery); findNode(p.Root, opHashJoin).Mode != ModeVector {
+		t.Fatalf("test premise: plan did not choose a vector join:\n%s", p.Summary())
+	}
+
+	er := joinVecEngine(t, 4000, 6000)
+	er.Knobs.DisableVectorExec = true
+	want, _, err := Run(er, joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("vector join plan differs from row plan: %d vs %d rows", len(got), len(want))
+	}
+}
+
+// TestExplainShowsJoinSortMode checks the EXPLAIN mode annotation lands on
+// the join and sort nodes themselves.
+func TestExplainShowsJoinSortMode(t *testing.T) {
+	e := joinVecEngine(t, 4000, 6000)
+	for _, line := range explainLines(t, e, joinQuery) {
+		if strings.Contains(line, "HashJoin") && !strings.Contains(line, "mode=vector") {
+			t.Errorf("join line missing mode=vector: %s", line)
+		}
+		if strings.Contains(line, "Sort") && !strings.Contains(line, "mode=vector") {
+			t.Errorf("sort line missing mode=vector: %s", line)
+		}
+	}
+}
+
 // TestExplainShowsMode checks the EXPLAIN annotation on both paths.
 func TestExplainShowsMode(t *testing.T) {
 	e := vecTestEngine(t, 5000)

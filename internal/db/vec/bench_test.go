@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"energydb/internal/cpusim"
@@ -16,10 +17,12 @@ import (
 )
 
 // benchRow is one cell of the row-versus-vector throughput sweep,
-// serialized into BENCH_vector.json. Batch is 0 for the row path;
-// SpeedupVsRow is filled in by the writer from the row-path baseline at the
-// same selectivity.
+// serialized into BENCH_vector.json. Op names the operator slice
+// (filter_agg, hash_join, sort), Batch is 0 for the row path, and
+// SpeedupVsRow is filled in by the writer from the row-path baseline of the
+// same op at the same selectivity.
 type benchRow struct {
+	Op           string  `json:"op,omitempty"`
 	Mode         string  `json:"mode"`
 	Batch        int     `json:"batch,omitempty"`
 	Selectivity  float64 `json:"selectivity"`
@@ -30,6 +33,13 @@ type benchRow struct {
 	SpeedupVsRow float64 `json:"speedup_vs_row,omitempty"`
 }
 
+// benchQueries documents the statement shape behind each op slice.
+var benchQueries = map[string]string{
+	"filter_agg": "SELECT l_returnflag, SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity < c GROUP BY l_returnflag",
+	"hash_join":  "SELECT * FROM lineitem JOIN orders ON l_orderkey = o_orderkey",
+	"sort":       "SELECT * FROM lineitem ORDER BY l_extendedprice DESC, l_quantity",
+}
+
 // benchCase is one predicate of the selectivity sweep over lineitem
 // (l_quantity is uniform on [1,50], so the threshold is ~the selectivity).
 type benchCase struct {
@@ -38,16 +48,14 @@ type benchCase struct {
 }
 
 // BenchmarkVectorThroughput measures base-table rows per wall-clock second
-// for the ISSUE's acceptance query — a full-table filter+aggregate over the
-// TPC-H subset's lineitem (SELECT l_returnflag, SUM(l_extendedprice),
-// COUNT(*) FROM lineitem WHERE l_quantity < c GROUP BY l_returnflag) —
-// through the row executor and through the vectorized executor at batch
-// widths 1/64/256/1024/4096, across low/medium/full selectivities. Both
-// paths run the same simulated machine and charge the same meter; the
-// speedup is the vectorized engine's interpretation saving (one dispatch
-// per primitive per batch instead of per tuple). The sweep is written to
-// BENCH_vector.json at the repo root for the acceptance check (vector >=
-// 2x row rows/sec at batch >= 256).
+// for the filter+aggregate acceptance query — SELECT l_returnflag,
+// SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity < c GROUP BY
+// l_returnflag over the TPC-H subset — through the row executor and through
+// the vectorized executor at batch widths 1/64/256/1024/4096, across
+// low/medium/full selectivities. Both paths run the same simulated machine
+// and charge the same meter; the speedup is the vectorized engine's
+// interpretation saving (one dispatch per primitive per batch instead of per
+// tuple). The sweep is merged into BENCH_vector.json at the repo root.
 func BenchmarkVectorThroughput(b *testing.B) {
 	m := cpusim.NewMachine(cpusim.IntelI7_4790())
 	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
@@ -99,8 +107,8 @@ func BenchmarkVectorThroughput(b *testing.B) {
 		rps := float64(b.N) * float64(tableRows) / b.Elapsed().Seconds()
 		b.ReportMetric(rps, "rows/sec")
 		rows = append(rows, benchRow{
-			Mode: mode, Batch: batch, Selectivity: sel, TableRows: tableRows,
-			Runs: b.N, Seconds: b.Elapsed().Seconds(), RowsPerSec: rps,
+			Op: "filter_agg", Mode: mode, Batch: batch, Selectivity: sel,
+			TableRows: tableRows, Runs: b.N, Seconds: b.Elapsed().Seconds(), RowsPerSec: rps,
 		})
 	}
 
@@ -136,60 +144,178 @@ func BenchmarkVectorThroughput(b *testing.B) {
 	writeVectorBenchJSON(b, rows)
 }
 
-// writeVectorBenchJSON writes the sweep to BENCH_vector.json next to
-// go.mod. Sub-benchmarks rerun with growing b.N; only each cell's final
-// (largest-N) measurement is kept, and every vector cell is annotated with
-// its speedup over the row path at the same selectivity.
+// BenchmarkVectorJoinSort measures the join and sort slices of the sweep:
+// lineitem ⋈ orders on orderkey (probe-side rows per second) and a two-key
+// lineitem sort, through the row operators and the batch kernels at batch
+// widths 64/256/1024. Cells merge into BENCH_vector.json without disturbing
+// the filter_agg slice, so partial reruns (make bench-join) stay consistent.
+// Acceptance floor: the vectorized join sustains >= 1.5x the row join's
+// rows/sec at batch >= 256.
+func BenchmarkVectorJoinSort(b *testing.B) {
+	m := cpusim.NewMachine(cpusim.IntelI7_4790())
+	e := engine.New(engine.SQLite, m, engine.SettingBaseline)
+	tpch.Setup(e, tpch.Size10MB)
+	lineitem := e.MustTable("lineitem")
+	orders := e.MustTable("orders")
+	probeRows := lineitem.File.RowCount()
+	batches := []int{64, 256, 1024}
+
+	var rows []benchRow
+	record := func(b *testing.B, op, mode string, batch int) {
+		rps := float64(b.N) * float64(probeRows) / b.Elapsed().Seconds()
+		b.ReportMetric(rps, "rows/sec")
+		rows = append(rows, benchRow{
+			Op: op, Mode: mode, Batch: batch, Selectivity: 1,
+			TableRows: probeRows, Runs: b.N, Seconds: b.Elapsed().Seconds(), RowsPerSec: rps,
+		})
+	}
+
+	b.Run("op=hash_join/mode=row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Drain(&exec.HashJoin{
+				Ctx: e.Ctx, Build: e.Scan(orders, nil), Probe: e.Scan(lineitem, nil),
+				BuildKey: []int{0}, ProbeKey: []int{0},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		record(b, "hash_join", "row", 0)
+	})
+	for _, batch := range batches {
+		b.Run(fmt.Sprintf("op=hash_join/mode=vector/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Drain(&vec.RowSource{Child: &vec.HashJoin{
+					Ctx:      e.Ctx,
+					Build:    &vec.Scan{Ctx: e.Ctx, File: orders.File, BatchSize: batch},
+					Probe:    &vec.Scan{Ctx: e.Ctx, File: lineitem.File, BatchSize: batch},
+					BuildKey: []int{0}, ProbeKey: []int{0}, BatchSize: batch,
+				}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			record(b, "hash_join", "vector", batch)
+		})
+	}
+
+	sortKeys := []exec.SortKey{
+		{Expr: exec.Col{Idx: 5}, Desc: true}, // l_extendedprice
+		{Expr: exec.Col{Idx: 4}},             // l_quantity
+	}
+	b.Run("op=sort/mode=row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Drain(e.Sort(e.Scan(lineitem, nil), sortKeys)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		record(b, "sort", "row", 0)
+	})
+	for _, batch := range batches {
+		b.Run(fmt.Sprintf("op=sort/mode=vector/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Drain(&vec.RowSource{Child: &vec.Sort{
+					Ctx:   e.Ctx,
+					Child: &vec.Scan{Ctx: e.Ctx, File: lineitem.File, BatchSize: batch},
+					Keys:  sortKeys, BatchSize: batch,
+				}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			record(b, "sort", "vector", batch)
+		})
+	}
+	writeVectorBenchJSON(b, rows)
+}
+
+// benchFile is the BENCH_vector.json document.
+type benchFile struct {
+	Benchmark string            `json:"benchmark"`
+	Queries   map[string]string `json:"queries"`
+	Rows      []benchRow        `json:"rows"`
+}
+
+type benchKey struct {
+	op    string
+	mode  string
+	batch int
+	sel   float64
+}
+
+// writeVectorBenchJSON merges the measured cells into BENCH_vector.json
+// next to go.mod. Sub-benchmarks rerun with growing b.N, so only each
+// cell's final (largest-N) measurement is kept; cells already in the file
+// but not re-measured in this run survive untouched, which keeps partial
+// reruns (make bench-join) from clobbering the other slices. Every vector
+// cell is annotated with its speedup over the row path of the same op at
+// the same selectivity.
 func writeVectorBenchJSON(b *testing.B, rows []benchRow) {
 	if len(rows) == 0 {
 		return
-	}
-	type key struct {
-		mode  string
-		batch int
-		sel   float64
-	}
-	final := make(map[key]benchRow, len(rows))
-	order := make([]key, 0, len(rows))
-	for _, r := range rows {
-		k := key{r.Mode, r.Batch, r.Selectivity}
-		if _, seen := final[k]; !seen {
-			order = append(order, k)
-		}
-		final[k] = r
-	}
-	rowBase := make(map[float64]float64)
-	for k, r := range final {
-		if k.mode == "row" {
-			rowBase[k.sel] = r.RowsPerSec
-		}
-	}
-	out := make([]benchRow, 0, len(order))
-	for _, k := range order {
-		r := final[k]
-		if k.mode == "vector" && rowBase[k.sel] > 0 {
-			r.SpeedupVsRow = r.RowsPerSec / rowBase[k.sel]
-		}
-		out = append(out, r)
 	}
 	root, err := repoRoot()
 	if err != nil {
 		b.Logf("BENCH_vector.json not written: %v", err)
 		return
 	}
-	data, err := json.MarshalIndent(struct {
-		Benchmark string     `json:"benchmark"`
-		Query     string     `json:"query"`
-		Rows      []benchRow `json:"rows"`
-	}{
-		Benchmark: "BenchmarkVectorThroughput",
-		Query:     "SELECT l_returnflag, SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity < c GROUP BY l_returnflag",
+	path := filepath.Join(root, "BENCH_vector.json")
+
+	final := make(map[benchKey]benchRow)
+	if data, err := os.ReadFile(path); err == nil {
+		var prior benchFile
+		if err := json.Unmarshal(data, &prior); err == nil {
+			for _, r := range prior.Rows {
+				if r.Op == "" { // rows written before the op field existed
+					r.Op = "filter_agg"
+				}
+				final[benchKey{r.Op, r.Mode, r.Batch, r.Selectivity}] = r
+			}
+		}
+	}
+	for _, r := range rows {
+		final[benchKey{r.Op, r.Mode, r.Batch, r.Selectivity}] = r
+	}
+
+	rowBase := make(map[[2]interface{}]float64)
+	for k, r := range final {
+		if k.mode == "row" {
+			rowBase[[2]interface{}{k.op, k.sel}] = r.RowsPerSec
+		}
+	}
+	keys := make([]benchKey, 0, len(final))
+	for k := range final {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.op != c.op {
+			return a.op < c.op
+		}
+		if a.sel != c.sel {
+			return a.sel < c.sel
+		}
+		if a.mode != c.mode {
+			return a.mode < c.mode
+		}
+		return a.batch < c.batch
+	})
+	out := make([]benchRow, 0, len(keys))
+	for _, k := range keys {
+		r := final[k]
+		if k.mode == "vector" {
+			if base := rowBase[[2]interface{}{k.op, k.sel}]; base > 0 {
+				r.SpeedupVsRow = r.RowsPerSec / base
+			}
+		}
+		out = append(out, r)
+	}
+
+	data, err := json.MarshalIndent(benchFile{
+		Benchmark: "BenchmarkVectorThroughput + BenchmarkVectorJoinSort",
+		Queries:   benchQueries,
 		Rows:      out,
 	}, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
-	path := filepath.Join(root, "BENCH_vector.json")
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		b.Logf("BENCH_vector.json not written: %v", err)
 		return

@@ -50,10 +50,11 @@ var fuzzOps = []exec.BinOpKind{
 
 var fuzzPatterns = []string{"a%", "%a", "%am%", "alpha", "", "%"}
 
-// randExpr draws a random expression over the fuzz table's five columns,
-// including shapes that demote vectors (mixed int/float arithmetic over
-// nullable inputs), NULL propagation, and division by zero.
-func randExpr(r *rand.Rand, depth int) exec.Expr {
+// randExpr draws a random expression over the first ncols columns of the
+// operator's schema, including shapes that demote vectors (mixed int/float
+// arithmetic over nullable inputs), NULL propagation, and division by zero.
+// Join residuals pass ncols=10 to range over the concatenated schema.
+func randExpr(r *rand.Rand, depth, ncols int) exec.Expr {
 	if depth <= 0 {
 		switch r.Intn(4) {
 		case 0:
@@ -61,12 +62,12 @@ func randExpr(r *rand.Rand, depth int) exec.Expr {
 		case 1:
 			return exec.Const{V: value.Float(float64(r.Intn(400)) / 4)}
 		default:
-			return exec.Col{Idx: r.Intn(5)}
+			return exec.Col{Idx: r.Intn(ncols)}
 		}
 	}
 	switch r.Intn(10) {
 	case 0:
-		return exec.Not{E: randExpr(r, depth-1)}
+		return exec.Not{E: randExpr(r, depth-1, ncols)}
 	case 1:
 		return exec.Like{E: exec.Col{Idx: 3}, Pattern: fuzzPatterns[r.Intn(len(fuzzPatterns))]}
 	case 2:
@@ -74,12 +75,12 @@ func randExpr(r *rand.Rand, depth int) exec.Expr {
 		for i := range list {
 			list[i] = value.Int(int64(r.Intn(8)))
 		}
-		return exec.InList{E: exec.Col{Idx: r.Intn(5)}, List: list}
+		return exec.InList{E: exec.Col{Idx: r.Intn(ncols)}, List: list}
 	default:
 		return exec.BinOp{
 			Op: fuzzOps[r.Intn(len(fuzzOps))],
-			L:  randExpr(r, depth-1),
-			R:  randExpr(r, depth-1),
+			L:  randExpr(r, depth-1, ncols),
+			R:  randExpr(r, depth-1, ncols),
 		}
 	}
 }
@@ -106,22 +107,27 @@ func runMetered(t *testing.T, e *engine.Engine, op exec.Operator, ms *exec.Meter
 }
 
 // FuzzVecExec is the differential fuzzer for the vectorized engine: any
-// random table, predicate and projection/aggregation must produce an
-// identical result set through the row and vector paths, and on both paths
-// the per-operator metered counters must sum exactly to that path's
-// statement counter delta (the EXPLAIN ENERGY partition invariant).
+// random table, predicate and plan shape — projection (mode 0), aggregation
+// (mode 1), or hash join + sort (mode 2) — must produce an identical result
+// set through the row and vector paths, and on both paths the per-operator
+// metered counters must sum exactly to that path's statement counter delta
+// (the EXPLAIN ENERGY partition invariant). Join keys include the price
+// column, whose NULLs exercise the NULL-key-never-matches rule on both
+// sides.
 func FuzzVecExec(f *testing.F) {
-	f.Add(int64(1), uint16(50), uint16(0), false)
-	f.Add(int64(2), uint16(300), uint16(1), true)
-	f.Add(int64(3), uint16(700), uint16(64), false)
-	f.Add(int64(4), uint16(128), uint16(4096), true)
-	f.Add(int64(5), uint16(1), uint16(7), true)
-	f.Add(int64(6), uint16(0), uint16(13), false)
-	f.Fuzz(func(t *testing.T, seed int64, nRows, batch uint16, aggregate bool) {
+	f.Add(int64(1), uint16(50), uint16(0), uint8(0))
+	f.Add(int64(2), uint16(300), uint16(1), uint8(1))
+	f.Add(int64(3), uint16(700), uint16(64), uint8(2))
+	f.Add(int64(4), uint16(128), uint16(4096), uint8(1))
+	f.Add(int64(5), uint16(1), uint16(7), uint8(2))
+	f.Add(int64(6), uint16(0), uint16(13), uint8(2))
+	f.Add(int64(7), uint16(211), uint16(97), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, nRows, batch uint16, mode uint8) {
 		rows := int(nRows) % 800
 		batchSize := int(batch)%MaxBatch + 1
+		shape := int(mode) % 3
 		r := rand.New(rand.NewSource(seed))
-		pred := randExpr(r, 2)
+		pred := randExpr(r, 2, 5)
 		exprSeed := r.Int63()
 
 		// Row path.
@@ -141,11 +147,12 @@ func FuzzVecExec(f *testing.F) {
 		}}
 
 		var want, got []value.Row
-		if aggregate {
+		switch shape {
+		case 1:
 			ra := rand.New(rand.NewSource(exprSeed))
 			groupBy := []exec.Expr{exec.Col{Idx: ra.Intn(5)}}
 			aggs := []exec.AggSpec{
-				{Kind: exec.AggSum, Arg: randExpr(ra, 1), Name: "s"},
+				{Kind: exec.AggSum, Arg: randExpr(ra, 1, 5), Name: "s"},
 				{Kind: exec.AggCount, Name: "n"},
 				{Kind: exec.AggMin, Arg: exec.Col{Idx: ra.Intn(5)}, Name: "lo"},
 			}
@@ -157,11 +164,58 @@ func FuzzVecExec(f *testing.F) {
 					Ctx: ev.Ctx, Child: scanV, GroupBy: groupBy, Aggs: aggs,
 				}},
 			}, msV, []*exec.Meter{mScanV, mTopV})
-		} else {
+		case 2:
+			// Hash join (random key columns on each side, NULLs included) under
+			// a multi-key sort — the scan meters above feed the probe side; the
+			// build side gets its own scan and meter.
+			ra := rand.New(rand.NewSource(exprSeed))
+			buildKey := []int{ra.Intn(5)}
+			probeKey := []int{ra.Intn(5)}
+			var residual exec.Expr
+			if ra.Intn(2) == 0 {
+				residual = randExpr(ra, 1, 10)
+			}
+			keys := make([]exec.SortKey, ra.Intn(2)+1)
+			for i := range keys {
+				keys[i] = exec.SortKey{Expr: exec.Col{Idx: ra.Intn(10)}, Desc: ra.Intn(2) == 0}
+			}
+
+			mBuildR := &exec.Meter{Label: "build"}
+			mJoinR := &exec.Meter{Label: "join", Kids: []*exec.Meter{mScanR, mBuildR}}
+			mTopR.Kids = []*exec.Meter{mJoinR}
+			want = runMetered(t, er, &exec.Metered{Set: msR, M: mTopR, Child: &exec.Sort{
+				Ctx: er.Ctx,
+				Child: &exec.Metered{Set: msR, M: mJoinR, Child: &exec.HashJoin{
+					Ctx:   er.Ctx,
+					Build: &exec.Metered{Set: msR, M: mBuildR, Child: er.Scan(tr, pred)},
+					Probe: scanR, BuildKey: buildKey, ProbeKey: probeKey,
+					Residual: residual,
+				}},
+				Keys: keys,
+			}}, msR, []*exec.Meter{mScanR, mBuildR, mJoinR, mTopR})
+
+			mBuildV := &exec.Meter{Label: "build"}
+			mJoinV := &exec.Meter{Label: "join", Kids: []*exec.Meter{mScanV, mBuildV}}
+			mTopV.Kids = []*exec.Meter{mJoinV}
+			got = runMetered(t, ev, &RowSource{
+				Child: &Metered{Set: msV, M: mTopV, Child: &Sort{
+					Ctx: ev.Ctx,
+					Child: &Metered{Set: msV, M: mJoinV, Child: &HashJoin{
+						Ctx: ev.Ctx,
+						Build: &Metered{Set: msV, M: mBuildV, Child: &Scan{
+							Ctx: ev.Ctx, File: tv.File, Pred: pred, BatchSize: batchSize,
+						}},
+						Probe: scanV, BuildKey: buildKey, ProbeKey: probeKey,
+						Residual: residual, BatchSize: batchSize,
+					}},
+					Keys: keys, BatchSize: batchSize,
+				}},
+			}, msV, []*exec.Meter{mScanV, mBuildV, mJoinV, mTopV})
+		default:
 			ra := rand.New(rand.NewSource(exprSeed))
 			exprs := make([]exec.Expr, ra.Intn(3)+1)
 			for i := range exprs {
-				exprs[i] = randExpr(ra, 2)
+				exprs[i] = randExpr(ra, 2, 5)
 			}
 			want = runMetered(t, er, &exec.Metered{Set: msR, M: mTopR, Child: &exec.Project{
 				Ctx: er.Ctx, Child: scanR, Exprs: exprs,
@@ -173,8 +227,8 @@ func FuzzVecExec(f *testing.F) {
 			}, msV, []*exec.Meter{mScanV, mTopV})
 		}
 		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("vector result differs from row result: %d vs %d rows\nseed=%d rows=%d batch=%d agg=%v",
-				len(got), len(want), seed, rows, batchSize, aggregate)
+			t.Fatalf("vector result differs from row result: %d vs %d rows\nseed=%d rows=%d batch=%d shape=%d",
+				len(got), len(want), seed, rows, batchSize, shape)
 		}
 	})
 }

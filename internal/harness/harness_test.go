@@ -24,7 +24,7 @@ func skipIfShort(t *testing.T) {
 }
 
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6", "X7"}
+	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
@@ -262,6 +262,39 @@ func TestExtensionVectorQuick(t *testing.T) {
 		if !strings.Contains(res.Text, s) {
 			t.Errorf("X7 missing %q:\n%s", s, res.Text)
 		}
+	}
+}
+
+// TestExtensionJoinQuick checks X8's acceptance shape: Q9 lands in the
+// join-dominated subset, the subset's E_active moves down under the vector
+// join/sort, and the per-operator meter partition holds on the mixed plan.
+func TestExtensionJoinQuick(t *testing.T) {
+	skipIfShort(t)
+	res, err := RunExtensionJoin(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Q9", "join-dominated subset", "join lab", "meter partition", "sum exactly"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X8 missing %q:\n%s", s, res.Text)
+		}
+	}
+	// Q9 must be inside the subset line, the subset delta negative, and the
+	// join lab must show the batch join cutting E_active.
+	subset := ""
+	for _, line := range strings.Split(res.Text, "\n") {
+		if strings.HasPrefix(line, "join-dominated subset") {
+			subset = line
+		}
+		if strings.HasPrefix(line, "subset E_active") && !strings.Contains(line, "(-") {
+			t.Errorf("X8 subset shows no E_active reduction: %s", line)
+		}
+		if strings.HasPrefix(line, "hash_join") && !strings.Contains(line, "-") {
+			t.Errorf("X8 join lab shows no E_active reduction: %s", line)
+		}
+	}
+	if !strings.Contains(subset, "Q9") {
+		t.Errorf("Q9 not in the join-dominated subset: %s", subset)
 	}
 }
 

@@ -231,8 +231,13 @@ func checkTupleLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt, rangeX, cond
 		// One batch of the vectorized executor is bounded by the batch
 		// width; polling at batch granularity — anywhere in the enclosing
 		// scope, which runs once per batch — bounds the uncancellable
-		// stretch to a single batch.
-		if isBatchVar(pass, rangeX, batchVars) {
+		// stretch to a single batch. The same goes for a chunked buffer
+		// walk — ranging over a bounded sub-slice rows[lo:hi] of a
+		// materialized buffer, the hash-join build and sort-extraction
+		// kernel shape — when the enclosing scope polls per chunk
+		// (Ctx.PollEvery at the chunk head, or the kernel's TupleCost
+		// dispatch).
+		if isBatchVar(pass, rangeX, batchVars) || isBoundedSubslice(rangeX) {
 			if fnPolls {
 				return
 			}
@@ -262,6 +267,15 @@ func implementsAnyOperator(t types.Type, operators []*types.Interface) bool {
 		}
 	}
 	return false
+}
+
+// isBoundedSubslice reports whether the ranged expression is a slice
+// expression with an explicit upper bound — rows[lo:hi] — i.e. one chunk of
+// a materialized buffer rather than the whole buffer. The caller still
+// requires the enclosing scope to poll once per chunk.
+func isBoundedSubslice(x ast.Expr) bool {
+	sl, ok := ast.Unparen(x).(*ast.SliceExpr)
+	return ok && sl.High != nil
 }
 
 // isBatchVar reports whether the ranged expression is a variable assigned

@@ -78,3 +78,39 @@ func drain(ctx *exec.Ctx, op Operator) (int, error) {
 		n += len(b.Rows)
 	}
 }
+
+// buildChunked is the hash-join build / sort-extraction kernel shape: a
+// materialized buffer walked in batch-width chunks, ranging over the
+// bounded sub-slice rows[lo:hi], with a batch-granularity PollEvery at the
+// head of each chunk. Accepted: the uncancellable stretch is one chunk.
+func buildChunked(ctx *exec.Ctx, rows []exec.Row, chunk int) int {
+	n := 0
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		ctx.PollEvery(lo)
+		for range rows[lo:hi] {
+			n++
+		}
+	}
+	return n
+}
+
+// buildChunkedUnpolled walks the same chunked shape without any checkpoint
+// in the enclosing scope: still a finding — chunking alone does not make
+// the loop cancellable.
+func buildChunkedUnpolled(rows []exec.Row, chunk int) int {
+	n := 0
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		for range rows[lo:hi] {
+			n++
+		}
+	}
+	return n
+}
