@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck vulncheck race check bench bench-txn bench-join fuzz smoke
+.PHONY: all build test vet lint staticcheck vulncheck race check golden-drift bench bench-txn bench-join fuzz smoke
 
 all: build
 
@@ -52,7 +52,21 @@ vulncheck:
 race:
 	$(GO) test -race -short -timeout 30m ./...
 
-check: vet lint staticcheck test race
+# Golden-drift gate: regenerate every EXPLAIN golden into a scratch
+# directory and diff it against the committed set. TestExplainGolden already
+# fails on drift in `make test`; this target additionally catches a stale or
+# hand-edited committed golden (the regenerated set is the single source of
+# truth) and prints the full diff in one place.
+golden-drift:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	EXPLAIN_GOLDEN_DIR="$$tmp" $(GO) test ./internal/tpch -run TestExplainGolden -update >/dev/null && \
+	if diff -ru internal/tpch/testdata/explain "$$tmp"; then \
+		echo "golden-drift: EXPLAIN goldens match regenerated plans"; \
+	else \
+		echo "golden-drift: committed goldens differ from regenerated plans (see diff above)"; exit 1; \
+	fi
+
+check: vet lint staticcheck test golden-drift race
 
 # End-to-end observability smoke: boots energyd with -metrics-addr, runs
 # statements over the wire (incl. \stats), scrapes /metrics and greps the

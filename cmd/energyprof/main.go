@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (T1..T5, F5..F13, X1..X8)")
+		expID   = flag.String("exp", "", "experiment id (T1..T5, F5..F13, X1..X9)")
 		all     = flag.Bool("all", false, "run every experiment")
 		list    = flag.Bool("list", false, "list experiments")
 		quick   = flag.Bool("quick", false, "reduced query sweep and dataset (fast)")

@@ -78,6 +78,7 @@ func FuzzPlan(f *testing.F) {
 		if err != nil {
 			return
 		}
+		checkChainConsistency(t, src, p.Root, false)
 		op, err := p.Build()
 		if err != nil {
 			t.Fatalf("Build failed after successful Prepare on %q: %v", src, err)
@@ -87,4 +88,35 @@ func FuzzPlan(f *testing.F) {
 		}
 		p.Explain() // must not panic either
 	})
+}
+
+// checkChainConsistency asserts the chain-wise mode contract on a chosen
+// plan: vector chains are contiguous (a vector node never has a row child,
+// so no row operator is ever sandwiched between two vector ones), the
+// row↔vector transition is priced exactly at each chain top (BoundaryEJ > 0
+// where a row consumer takes over, and only there), and interior chain
+// nodes carry no boundary charge.
+func checkChainConsistency(t *testing.T, src string, n *Node, vecParent bool) {
+	t.Helper()
+	if n.Mode == ModeVector {
+		if vecParent && n.BoundaryEJ != 0 {
+			t.Fatalf("interior vector node %s carries a boundary charge %g on %q",
+				n.Title(), n.BoundaryEJ, src)
+		}
+		if !vecParent && !(n.BoundaryEJ > 0) {
+			t.Fatalf("vector chain top %s under a row consumer has no priced transition on %q",
+				n.Title(), src)
+		}
+		for _, k := range n.Kids {
+			if k.Mode != ModeVector {
+				t.Fatalf("vector node %s has row-mode child %s on %q",
+					n.Title(), k.Title(), src)
+			}
+		}
+	} else if n.BoundaryEJ != 0 {
+		t.Fatalf("row node %s carries a boundary charge %g on %q", n.Title(), n.BoundaryEJ, src)
+	}
+	for _, k := range n.Kids {
+		checkChainConsistency(t, src, k, n.Mode == ModeVector)
+	}
 }

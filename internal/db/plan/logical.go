@@ -407,7 +407,7 @@ func (pc *planCtx) sampleJoinEstimate(r *rel, resConds []sql.Node) (fan, condSel
 		if resolvable {
 			evalConds = append(evalConds, c)
 		} else {
-			defaultMul *= residualSel
+			defaultMul *= pc.residualSelOf(c)
 		}
 	}
 	pred, err := compileConds(evalConds, joint)
@@ -454,6 +454,35 @@ func (pc *planCtx) sampleJoinEstimate(r *rel, resConds []sql.Node) (fan, condSel
 		condSel = min
 	}
 	return fan, condSel * defaultMul, true
+}
+
+// residualSelOf prices one cross-relation conjunct: a plain column=column
+// equijoin residual follows the System-R rule 1/max(distinct) — the paper's
+// Q5-style "local supplier" condition (c_nationkey = s_nationkey) passes one
+// nation pair in 25, not the 0.3 default, and every operator above it prices
+// its energy on the resulting cardinality. Other shapes keep the default.
+func (pc *planCtx) residualSelOf(cond sql.Node) float64 {
+	b, ok := cond.(sql.BinNode)
+	if !ok || b.Op != "=" {
+		return residualSel
+	}
+	lc, okL := b.L.(sql.ColNode)
+	rc, okR := b.R.(sql.ColNode)
+	if !okL || !okR {
+		return residualSel
+	}
+	d := 1.0
+	for _, name := range []string{lc.Name, rc.Name} {
+		for _, r := range pc.lp.rels {
+			if _, err := r.t.Schema().ColIndex(name); err == nil {
+				if dd := distinctOf(r.stats, r.t.Schema(), name); dd > d {
+					d = dd
+				}
+				break
+			}
+		}
+	}
+	return 1 / d
 }
 
 // orient resolves which ON side belongs to the accumulated outer relation

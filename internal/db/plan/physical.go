@@ -104,6 +104,11 @@ type Node struct {
 	// EstEJ is the predicted exclusive active energy of this operator in
 	// joules (Eq. 1 micro-op counts priced with the machine's ΔE table).
 	EstEJ float64
+	// BoundaryEJ is the predicted RowSource adaptation cost folded into
+	// EstEJ when this node tops a vector chain under a row consumer (zero
+	// elsewhere). EXPLAIN surfaces it as xfer≈ so a mode choice that
+	// breaks a chain can be audited against the transition it pays for.
+	BoundaryEJ float64
 }
 
 // Schema returns the node's output schema.
@@ -123,6 +128,9 @@ type planCtx struct {
 	// backed by raw scan rows, which columns its subtree has already
 	// materialized (see chooseModes).
 	lazy map[*Node]*lazyBatch
+	// prices holds the chain DP's two-state subtree prices (see
+	// priceModes/commitModes in vector.go).
+	prices map[*Node]modePrice
 }
 
 func newPlanCtx(e *engine.Engine, stmt *sql.SelectStmt, lp *logical) *planCtx {
@@ -342,8 +350,8 @@ func (pc *planCtx) chooseJoin(outer *Node, r *rel, resConds []sql.Node) (*Node, 
 		d := distinctOf(r.stats, r.t.Schema(), r.innerCol)
 		preMatches = outer.EstRows * float64(r.stats.RowCount) / d
 		matches = outer.EstRows * r.estRows / d
-		for range resConds {
-			matches *= residualSel
+		for _, rc := range resConds {
+			matches *= pc.residualSelOf(rc)
 		}
 	}
 	tree := r.t.Index(r.innerCol)
@@ -512,14 +520,64 @@ func (pc *planCtx) costSort(n *Node) {
 	}
 	pc.c.eval(&a, rows, keyNodes)
 	a.reg2 += 2 * rows // collect and final placement stores
-	if rows > 1 {
-		compares := rows * math.Log2(rows)
-		pc.c.randLoad(&a, 2*compares, rows*16)
-		a.add += compares * float64(len(n.SortKeys))
-	}
+	pc.c.sortCompares(&a, rows, 16, float64(len(n.SortKeys)))
 	a.l1d += rows // key-buffer read on emit
 	pc.c.emit(&a, rows, float64(n.schema.RowWidth()))
 	n.EstEJ = pc.c.price(a)
+}
+
+// planFootprint sums the plan's working set: scanned heaps, the touched
+// slices of index-fetched heaps, hash-join row buffers and tables, sort
+// buffers and aggregation state. It is the set the caches must juggle over
+// the whole execution — once it exceeds L3, each scan's stream is evicted
+// between touches no matter how small the table is, and the scan estimates
+// must price DRAM refills (see coster.footprint).
+func (pc *planCtx) planFootprint(n *Node) float64 {
+	total := 0.0
+	switch n.Kind {
+	case opSeqScan:
+		total += pc.c.heapBytes(n.Table)
+	case opIndexScan:
+		// A keyed range touches at most the heap, at least the match set.
+		total += math.Min(pc.c.heapBytes(n.Table), n.EstRows*pc.c.heapRowWidth(n.Table))
+	case opIndexJoin:
+		// Probe keys arrive in outer order, so the inner fetches scatter
+		// across the inner heap: each probe drags in the B-tree leaf path
+		// plus the heap page around the row, a page-granular touch that
+		// saturates at the whole heap once probes outnumber pages. The
+		// match-set slice alone badly under-counts the pressure — measured,
+		// Q12's 8.0MB lineitem stream refills 17% of its lines from DRAM
+		// once its index join into the 1.7MB orders heap runs interleaved,
+		// versus 1.6% for the same stream feeding only an aggregate.
+		probes := n.Kids[0].EstRows
+		total += math.Min(pc.c.heapBytes(n.Table), probes*float64(pc.e.Knobs.PageBytes))
+	case opHashJoin:
+		build := n.Kids[1]
+		total += build.EstRows*float64(build.schema.RowWidth()) + (build.EstRows+1)*32
+	case opAggregate:
+		total += groupTableBytes
+	case opSort:
+		total += n.Kids[0].EstRows * (float64(n.Kids[0].schema.RowWidth()) + 16)
+	}
+	for _, k := range n.Kids {
+		total += pc.planFootprint(k)
+	}
+	return total
+}
+
+// recostScans re-prices every sequential scan after the coster learns the
+// plan-wide footprint. Access-path and join choices were made with the
+// optimistic (footprint-free) estimates — those compare candidates under
+// equal cache pressure, which is what a choice needs — but the *absolute*
+// numbers EXPLAIN reports and chooseModes prices must reflect the eviction
+// the full plan causes.
+func (pc *planCtx) recostScans(n *Node) {
+	for _, k := range n.Kids {
+		pc.recostScans(k)
+	}
+	if n.Kind == opSeqScan {
+		pc.costSeqScan(n)
+	}
 }
 
 // chain assembly ------------------------------------------------------------
@@ -637,6 +695,11 @@ func (pc *planCtx) groupEstimate(in float64) float64 {
 			for _, r := range pc.lp.rels {
 				if _, err := r.t.Schema().ColIndex(c.Name); err == nil {
 					d = distinctOf(r.stats, r.t.Schema(), c.Name)
+					// The key values reaching the aggregate come from the
+					// rows surviving that relation's pushed filter: a
+					// 26-part filter yields at most 26 part keys, however
+					// many matches each fans out to downstream.
+					d = math.Min(d, math.Max(1, r.estRows))
 					break
 				}
 			}

@@ -50,6 +50,8 @@ func Prepare(e *engine.Engine, stmt *sql.SelectStmt) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	pc.c.footprint = pc.planFootprint(root)
+	pc.recostScans(root)
 	pc.chooseModes(root)
 	return &Prepared{E: e, Stmt: stmt, Root: root}, nil
 }
@@ -76,13 +78,21 @@ func (p *Prepared) BuildMetered() (exec.Operator, map[*Node]*exec.Meter, error) 
 func (p *Prepared) instantiate(n *Node, ms *exec.MeterSet, meters map[*Node]*exec.Meter) (exec.Operator, error) {
 	if n.Mode == ModeVector {
 		// The whole vector chain rooted here is built batch-at-a-time and
-		// adapted back to rows for the (row-mode) parent. The adapter is
-		// charge-free, so it needs no meter of its own.
+		// adapted back to rows for the (row-mode) parent. The adapter
+		// charges the boundary-crossing model; its charges are attributed
+		// to the chain-top node's meter — the same node whose estimate the
+		// planner folded the transition price into — so per-operator
+		// predicted-vs-measured stays aligned and the partition stays
+		// exact.
 		vop, err := p.instantiateVec(n, ms, meters)
 		if err != nil {
 			return nil, err
 		}
-		return &vec.RowSource{Child: vop}, nil
+		rs := &vec.RowSource{Ctx: p.E.Ctx, Child: vop}
+		if ms != nil {
+			rs.Set, rs.M = ms, meters[n]
+		}
+		return rs, nil
 	}
 	e := p.E
 	kids := make([]exec.Operator, len(n.Kids))

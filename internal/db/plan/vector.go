@@ -8,21 +8,30 @@ import (
 )
 
 // Row-versus-vector mode choice. After the plan shape is fixed, chooseModes
-// walks it bottom-up and flips eligible operators to the vectorized engine
-// when the vector implementation's predicted active energy beats the row
-// implementation's. The estimators below mirror the vec package's charging
-// scheme exactly — one per-batch dispatch (a tuple's worth of interpretation
-// overhead) per primitive plus per-element payload traffic — priced with the
-// same calibrated ΔE_m table as every other estimate, so the crossover falls
-// out of the model: tiny inputs stay on the row path (the batch dispatch
-// does not amortize), large scans go vector.
+// prices every mode assignment chain-wise: a two-state dynamic program over
+// the tree computes, per node, the cheapest subtree total with the node in
+// row mode (each child free to pick its own cheaper state, every vector→row
+// transition explicitly charged) and in vector mode (every child forced to
+// stay in the chain), then commits the cheaper assignment top-down. The
+// estimators below mirror the vec package's charging scheme exactly — one
+// per-batch dispatch (a tuple's worth of interpretation overhead) per
+// primitive plus per-element payload traffic — priced with the same
+// calibrated ΔE_m table as every other estimate, so the crossover falls out
+// of the model: tiny inputs stay on the row path (the batch dispatch does
+// not amortize), large scans go vector.
 //
 // A vectorized operator exchanges columnar batches, so it can only stack on
 // a vectorized child; chains are rooted at sequential scans — and, with the
 // batch-first join and sort, can carry batches edge to edge through hash
-// joins (both inputs vectorized) and sorts — adapted back to rows
-// (charge-free) only where a row-only parent, or the drain loop at the top,
-// takes over.
+// joins (both inputs vectorized) and sorts — adapted back to rows only
+// where a row-only parent, or the drain loop at the top, takes over. That
+// adaptation is not free: RowSource charges one dispatch per batch plus a
+// full-width row copy per row (the loss of lazy materialization — a row
+// consumer takes whole rows), so a cheap row-mode operator sandwiched into
+// an otherwise-vector chain is priced against the whole chain it breaks,
+// including the extra boundary it forces, instead of winning a node-local
+// comparison and silently paying un-priced crossings (the X8 stranded-Prune
+// misprediction).
 
 // vecEligibleKind reports whether the node kind has a vectorized
 // implementation at all (used by EXPLAIN to decide which nodes carry a mode
@@ -67,93 +76,189 @@ func cloneLazy(lz *lazyBatch) *lazyBatch {
 	return &lazyBatch{mat: mat, rows: lz.rows}
 }
 
-// chooseModes assigns execution modes bottom-up: a node goes vector when it
-// is implemented, its inputs arrive as batches, its expressions compile to
-// kernels, and the predicted vector energy is lower than the row estimate
-// already stored in EstEJ. The winning estimate replaces EstEJ so EXPLAIN's
-// predictions describe the plan that will actually run. Alongside the cost,
-// each estimator returns the node's output lazy-batch state (nil when the
-// output is fully materialized), committed only when the node actually
-// flips to vector mode.
-func (pc *planCtx) chooseModes(n *Node) {
-	for _, k := range n.Kids {
-		pc.chooseModes(k)
-	}
+// modePrice is the two-state chain price of a subtree: rowTotal is the
+// cheapest subtree total with this node in row mode (each child picks the
+// cheaper of staying row or running its vector chain plus the boundary
+// crossing back to rows), vecTotal the total with this node in vector mode
+// (every child forced to stay in the chain; +Inf when the node cannot run
+// vectorized). vecEJ/lz are the node's own vector estimate and output
+// lazy-batch state under the vector hypothesis, boundary the RowSource
+// adaptation price of handing this node's vectorized output to a row
+// consumer.
+type modePrice struct {
+	rowTotal float64
+	vecTotal float64
+	vecEJ    float64
+	boundary float64
+	lz       *lazyBatch
+}
+
+// chooseModes assigns execution modes chain-wise: priceModes runs the
+// two-state DP bottom-up, then commitModes walks top-down comparing, at
+// each point where a row consumer takes over, the transition-priced vector
+// chain against the all-row subtree. Winning vector estimates replace
+// EstEJ (plus the boundary price at the chain top) so EXPLAIN's predictions
+// describe — and sum to — the plan that will actually run.
+func (pc *planCtx) chooseModes(root *Node) {
 	if pc.e.Knobs.DisableVectorExec {
 		return
 	}
-	var vecEJ float64
-	var lz *lazyBatch
+	pc.prices = map[*Node]modePrice{}
+	pc.priceModes(root)
+	pc.commitModes(root, false) // the drain loop at the top consumes rows
+}
+
+// priceModes computes the two-state price of n's subtree. While pricing the
+// vector hypothesis, each child's lazy-batch state is staged in pc.lazy so
+// the estimators see the chain's materialization state — the mechanism that
+// threads the consumer's column demand down a chain: a parent's estimator
+// charges Batch.Col materialization only for the columns it references,
+// against the child's output state (the parent's demand, not the child's
+// supply).
+func (pc *planCtx) priceModes(n *Node) modePrice {
+	rowKids, vecKids := 0.0, 0.0
+	chainKids := true
+	for _, k := range n.Kids {
+		p := pc.priceModes(k)
+		rowKids += math.Min(p.rowTotal, p.vecTotal+p.boundary)
+		if math.IsInf(p.vecTotal, 1) {
+			chainKids = false
+		} else {
+			vecKids += p.vecTotal
+		}
+	}
+	mp := modePrice{rowTotal: n.EstEJ + rowKids, vecTotal: math.Inf(1)}
+	if chainKids && pc.vecSupported(n) {
+		for _, k := range n.Kids {
+			pc.setLazy(k, pc.prices[k].lz)
+		}
+		mp.vecEJ, mp.lz = pc.costVec(n)
+		mp.vecTotal = mp.vecEJ + vecKids
+		mp.boundary = pc.costBoundary(n)
+	}
+	pc.prices[n] = mp
+	return mp
+}
+
+// commitModes commits the cheaper assignment top-down. Inside a committed
+// vector chain every node stays vector (the parent's price assumed it); at
+// each row-consumer point the transition-priced chain total competes with
+// the all-row subtree, and a winning chain top absorbs the boundary price
+// into its estimate (surfaced by EXPLAIN as xfer≈).
+func (pc *planCtx) commitModes(n *Node, vecConsumer bool) {
+	mp := pc.prices[n]
+	if vecConsumer || mp.vecTotal+mp.boundary < mp.rowTotal {
+		n.Mode = ModeVector
+		n.EstEJ = mp.vecEJ
+		if !vecConsumer {
+			n.BoundaryEJ = mp.boundary
+			n.EstEJ += mp.boundary
+		}
+		pc.setLazy(n, mp.lz)
+		for _, k := range n.Kids {
+			pc.commitModes(k, true)
+		}
+		return
+	}
+	for _, k := range n.Kids {
+		pc.commitModes(k, false)
+	}
+}
+
+// setLazy stages a node's output lazy-batch state for its consumer's
+// estimator (nil states are recorded as absent).
+func (pc *planCtx) setLazy(n *Node, lz *lazyBatch) {
+	if pc.lazy == nil {
+		pc.lazy = map[*Node]*lazyBatch{}
+	}
+	if lz == nil {
+		delete(pc.lazy, n)
+		return
+	}
+	pc.lazy[n] = lz
+}
+
+// vecSupported reports whether n can run vectorized at all, given batch
+// inputs: the kind has a kernel implementation and every expression
+// compiles to kernels.
+func (pc *planCtx) vecSupported(n *Node) bool {
 	switch n.Kind {
 	case opSeqScan:
-		if !supportedExpr(n.Filter) {
-			return
-		}
-		vecEJ, lz = pc.costVecSeqScan(n)
+		return supportedExpr(n.Filter)
 	case opFilter:
-		if n.Kids[0].Mode != ModeVector || !supportedExpr(n.Filter) {
-			return
-		}
-		vecEJ, lz = pc.costVecFilter(n)
+		return supportedExpr(n.Filter)
 	case opPrune:
-		if n.Kids[0].Mode != ModeVector {
-			return
-		}
-		vecEJ, lz = pc.costVecPrune(n)
+		return true
 	case opProject:
-		if n.Kids[0].Mode != ModeVector || !allSupported(n.Exprs) {
-			return
-		}
-		vecEJ, lz = pc.costVecProject(n)
+		return allSupported(n.Exprs)
 	case opAggregate:
-		if n.Kids[0].Mode != ModeVector {
-			return
-		}
 		if !allSupported(n.GroupExprs) || !allSupported(n.PostExprs) {
-			return
+			return false
 		}
 		for _, a := range n.Aggs {
 			if !supportedExpr(a.Arg) {
-				return
+				return false
 			}
 		}
-		vecEJ, lz = pc.costVecAggregate(n)
+		return true
 	case opHashJoin:
-		if n.Kids[0].Mode != ModeVector || n.Kids[1].Mode != ModeVector || !supportedExpr(n.Filter) {
-			return
-		}
 		// A build side smaller than one batch never fills a single build
 		// chunk: the batched build degenerates to the row path plus extra
 		// buffering, and at that size the estimator is below its resolution
 		// (one dispatch either way decides the comparison). Keep such joins
 		// on the row path.
-		if n.Kids[1].EstRows < pc.batchWidth() {
-			return
-		}
-		vecEJ, lz = pc.costVecHashJoin(n)
+		return supportedExpr(n.Filter) && n.Kids[1].EstRows >= pc.batchWidth()
 	case opSort:
-		if n.Kids[0].Mode != ModeVector {
-			return
-		}
 		for _, k := range n.SortKeys {
 			if !supportedExpr(k.Expr) {
-				return
+				return false
 			}
 		}
-		vecEJ, lz = pc.costVecSort(n)
-	default:
-		return
+		return true
 	}
-	if vecEJ < n.EstEJ {
-		n.Mode = ModeVector
-		n.EstEJ = vecEJ
-		if lz != nil {
-			if pc.lazy == nil {
-				pc.lazy = map[*Node]*lazyBatch{}
-			}
-			pc.lazy[n] = lz
-		}
+	return false
+}
+
+// costVec dispatches to the node kind's vector estimator. Callers must have
+// staged the children's lazy-batch states (priceModes does).
+func (pc *planCtx) costVec(n *Node) (float64, *lazyBatch) {
+	switch n.Kind {
+	case opSeqScan:
+		return pc.costVecSeqScan(n)
+	case opFilter:
+		return pc.costVecFilter(n)
+	case opPrune:
+		return pc.costVecPrune(n)
+	case opProject:
+		return pc.costVecProject(n)
+	case opAggregate:
+		return pc.costVecAggregate(n)
+	case opHashJoin:
+		return pc.costVecHashJoin(n)
+	case opSort:
+		return pc.costVecSort(n)
 	}
+	return math.Inf(1), nil
+}
+
+// costBoundary prices the vector→row transition under n: the RowSource
+// adaptation (one adapter dispatch per batch) plus the loss of lazy
+// materialization — the row consumer takes whole rows, so every row pays a
+// full-width copy out of the batch's backing regardless of which columns
+// the chain below materialized. Mirrors vec.RowSource's charges exactly
+// (the exported Boundary* constants).
+func (pc *planCtx) costBoundary(n *Node) float64 {
+	var a est
+	rows := n.EstRows
+	lines := math.Ceil(float64(n.schema.RowWidth()) / 64)
+	if lines < 1 {
+		lines = 1
+	}
+	pc.c.tuple(&a, pc.batchesFor(rows))
+	a.l1d += rows * lines * vec.BoundaryLoadsPerLine
+	a.reg2 += rows * lines * vec.BoundaryStoresPerLine
+	a.other += rows * vec.BoundaryInstrPerRow
+	return pc.c.price(a)
 }
 
 // vector-mode estimators ------------------------------------------------------
@@ -389,12 +494,18 @@ func (pc *planCtx) costVecAggregate(n *Node) (float64, *lazyBatch) {
 // (bulk buffer copy and hash arithmetic, per-row dependent bucket accesses
 // into the same simulated table the row join probes), each probe batch runs
 // one key-hash kernel plus a dependent bucket-head load per element, and
-// every match is gathered — one primitive per output column per output
-// batch — into a lazily row-backed output batch, so only the probe key
-// columns materialize here and the parent pays for the columns it touches.
-// The per-tuple dispatch, probe-row clone and per-match output copy of the
-// row join are gone; for tiny inputs the fixed per-batch dispatches do not
-// amortize and the row estimate wins.
+// every match is gathered — one dispatch per output batch plus two block
+// row-copies per match — into a lazily row-backed output batch. The gather
+// moves cache lines, not per-column vector elements: which output columns
+// become vectors is the consumer's decision, priced by the consumer's own
+// estimator against the outLz state returned here (or by costBoundary when
+// a row consumer takes whole rows). That demand-side accounting is what
+// stops the wide-row over-prediction X8 surfaced — the old model charged a
+// per-element primitive for every output column, supply-side, even when the
+// parent materialized almost none of them. The per-tuple dispatch,
+// probe-row clone and per-match output copy of the row join are gone; for
+// tiny inputs the fixed per-batch dispatches do not amortize and the row
+// estimate wins.
 func (pc *planCtx) costVecHashJoin(n *Node) (float64, *lazyBatch) {
 	var a est
 	buildRows := n.Kids[1].EstRows
@@ -404,9 +515,9 @@ func (pc *planCtx) costVecHashJoin(n *Node) (float64, *lazyBatch) {
 	buildBatches := pc.batchesFor(buildRows)
 	probeBatches := pc.batchesFor(probeRows)
 	outBatches := pc.batchesFor(matches)
-	probeCols := float64(len(n.Kids[0].schema.Columns))
-	buildCols := float64(len(n.Kids[1].schema.Columns))
 	rowLines := math.Ceil(float64(n.Kids[1].schema.RowWidth()) / 64)
+	probeLines := math.Ceil(float64(n.Kids[0].schema.RowWidth()) / 64)
+	bufBytes := math.Max(64, buildRows*float64(n.Kids[1].schema.RowWidth()))
 
 	// Build: a collect dispatch and a chunk dispatch per build batch, the
 	// row-buffer copy, bulk key loads and hash arithmetic, then a dependent
@@ -429,13 +540,16 @@ func (pc *planCtx) costVecHashJoin(n *Node) (float64, *lazyBatch) {
 	pc.c.randLoad(&a, probeRows, tableBytes)
 
 	// Matches: the bucket-chain chase stays per element; the gather is one
-	// primitive per output column per batch (source load, move, store), and
-	// the output batch comes out lazily backed by the assembled rows.
+	// dispatch per output batch and two block row-copies per match — a
+	// dependent first-line load of the matched build row at its scattered
+	// buffer offset, the trailing build lines and the cache-hot probe row,
+	// and the assembled-row stores — leaving the output lazily backed.
 	pc.c.randLoad(&a, matches, tableBytes)
-	pc.c.tuple(&a, outBatches*(probeCols+buildCols))
-	a.l1d += matches * (probeCols + buildCols) * vec.KernelLoadsPerVal
-	a.add += matches * (probeCols + buildCols)
-	a.reg2 += matches * (probeCols + buildCols) * vec.KernelStoresPerVal
+	pc.c.tuple(&a, outBatches)
+	pc.c.randLoad(&a, matches, bufBytes)
+	a.l1d += matches * (rowLines - 1 + probeLines)
+	a.reg2 += matches * (probeLines + rowLines)
+	a.add += 2 * matches
 
 	// Residual predicate, vectorized over the gathered output batch: its
 	// columns materialize from the backing rows first.
@@ -478,12 +592,9 @@ func (pc *planCtx) costVecSort(n *Node) (float64, *lazyBatch) {
 	// Collect dispatch per batch, then the chunked sort-buffer fill.
 	pc.c.tuple(&a, 2*batches)
 	a.reg2 += in
-	// Ordering pass: identical to the row sort's comparator costs.
-	if in > 1 {
-		compares := in * math.Log2(in)
-		pc.c.randLoad(&a, 2*compares, in*16)
-		a.add += compares * nkeys
-	}
+	// Ordering pass: identical to the row sort's comparator costs — the
+	// merge-locality model, not a uniform-random blend (see sortCompares).
+	pc.c.sortCompares(&a, in, 16, nkeys)
 	a.reg2 += in // final placement (the ordering vector store)
 	// Emit: one dispatch and a streaming run read per output batch.
 	pc.c.tuple(&a, pc.batchesFor(n.EstRows))

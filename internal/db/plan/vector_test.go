@@ -241,3 +241,108 @@ func TestExplainShowsMode(t *testing.T) {
 		t.Errorf("tiny-table EXPLAIN missing mode=row:\n%s", joined2)
 	}
 }
+
+// TestChainModePricing is the table-driven contract of the chain-wise mode
+// chooser: operators sandwiched inside a profitable vector chain stay in the
+// chain (a node-local row win would silently force two un-priced boundary
+// crossings), a chain consumed by a row parent carries its transition price
+// exactly at the chain top, and when the transition-priced chain genuinely
+// loses — a selective filter leaving a handful of rows above a big scan —
+// the operators above the scan drop to row mode while the scan keeps its
+// priced boundary. Every chosen plan must also beat (or match) the all-row
+// alternative, since the DP explicitly prices that hypothesis.
+func TestChainModePricing(t *testing.T) {
+	cases := []struct {
+		name  string
+		rows  int
+		query string
+		want  map[opKind]Mode
+		// boundaryOn is the node kind expected to carry the chain top's
+		// transition price (xfer≈ in EXPLAIN).
+		boundaryOn opKind
+	}{
+		{
+			name:  "mid-chain sort stays vector inside a committed chain",
+			rows:  5000,
+			query: "SELECT id, amount FROM facts WHERE amount > 1 ORDER BY amount DESC",
+			want: map[opKind]Mode{
+				opProject: ModeVector, opSort: ModeVector, opSeqScan: ModeVector,
+			},
+			boundaryOn: opProject,
+		},
+		{
+			name:  "mid-chain projected expression stays vector",
+			rows:  5000,
+			query: "SELECT id + 1 AS x FROM facts WHERE amount > 1 ORDER BY x",
+			want: map[opKind]Mode{
+				opProject: ModeVector, opSort: ModeVector, opSeqScan: ModeVector,
+			},
+			boundaryOn: opProject,
+		},
+		{
+			name:  "aggregate chain top absorbs the boundary under a row sort",
+			rows:  5000,
+			query: "SELECT grp, COUNT(*) AS n FROM facts GROUP BY grp ORDER BY grp",
+			want: map[opKind]Mode{
+				opSort: ModeRow, opAggregate: ModeVector, opSeqScan: ModeVector,
+			},
+			boundaryOn: opAggregate,
+		},
+		{
+			name:  "selective chain drops to row above the scan, scan keeps its priced boundary",
+			rows:  5000,
+			query: "SELECT id FROM facts WHERE id < 40 ORDER BY amount",
+			want: map[opKind]Mode{
+				opProject: ModeRow, opSort: ModeRow, opSeqScan: ModeVector,
+			},
+			boundaryOn: opSeqScan,
+		},
+		{
+			name:  "tiny table stays all-row (no chain worth a boundary)",
+			rows:  3,
+			query: "SELECT grp, SUM(amount) AS s FROM facts WHERE amount > 1 GROUP BY grp",
+			want: map[opKind]Mode{
+				opAggregate: ModeRow, opSeqScan: ModeRow,
+			},
+			boundaryOn: opKind(-1),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := prepare(t, vecTestEngine(t, tc.rows), tc.query)
+			checkChainConsistency(t, tc.query, p.Root, false)
+			for kind, want := range tc.want {
+				n := findNode(p.Root, kind)
+				if n == nil {
+					t.Fatalf("plan has no %v node: %s", kind, p.Summary())
+				}
+				if n.Mode != want {
+					t.Errorf("%s chose %v, want %v\n%s", n.Title(), n.Mode, want, p.Summary())
+				}
+			}
+			var walk func(n *Node)
+			walk = func(n *Node) {
+				if n.Kind == tc.boundaryOn && !(n.BoundaryEJ > 0) {
+					t.Errorf("%s should carry the chain's transition price", n.Title())
+				}
+				if n.Kind != tc.boundaryOn && n.BoundaryEJ != 0 {
+					t.Errorf("%s carries an unexpected transition price %g", n.Title(), n.BoundaryEJ)
+				}
+				for _, k := range n.Kids {
+					walk(k)
+				}
+			}
+			walk(p.Root)
+
+			// The committed plan must not lose to the all-row hypothesis the
+			// DP priced against it.
+			er := vecTestEngine(t, tc.rows)
+			er.Knobs.DisableVectorExec = true
+			allRow := prepare(t, er, tc.query)
+			if p.PredictedEJ() > allRow.PredictedEJ()*(1+1e-9) {
+				t.Errorf("chosen plan predicts %g J, all-row predicts %g J — chooser left energy on the table",
+					p.PredictedEJ(), allRow.PredictedEJ())
+			}
+		})
+	}
+}

@@ -108,12 +108,16 @@ func runMetered(t *testing.T, e *engine.Engine, op exec.Operator, ms *exec.Meter
 
 // FuzzVecExec is the differential fuzzer for the vectorized engine: any
 // random table, predicate and plan shape — projection (mode 0), aggregation
-// (mode 1), or hash join + sort (mode 2) — must produce an identical result
-// set through the row and vector paths, and on both paths the per-operator
-// metered counters must sum exactly to that path's statement counter delta
-// (the EXPLAIN ENERGY partition invariant). Join keys include the price
-// column, whose NULLs exercise the NULL-key-never-matches rule on both
-// sides.
+// (mode 1), hash join + sort (mode 2), or a broken chain (mode 3: a row
+// consumer over a RowSource-adapted vector scan, the transition the
+// chain-wise mode chooser prices as a chain top's boundary) — must produce
+// an identical result set through the row and vector paths, and on both
+// paths the per-operator metered counters must sum exactly to that path's
+// statement counter delta (the EXPLAIN ENERGY partition invariant; in the
+// broken-chain shape the adapter's boundary charges land on the chain-top
+// scan's meter, exactly where the planner folds the transition price). Join
+// keys include the price column, whose NULLs exercise the
+// NULL-key-never-matches rule on both sides.
 func FuzzVecExec(f *testing.F) {
 	f.Add(int64(1), uint16(50), uint16(0), uint8(0))
 	f.Add(int64(2), uint16(300), uint16(1), uint8(1))
@@ -122,10 +126,11 @@ func FuzzVecExec(f *testing.F) {
 	f.Add(int64(5), uint16(1), uint16(7), uint8(2))
 	f.Add(int64(6), uint16(0), uint16(13), uint8(2))
 	f.Add(int64(7), uint16(211), uint16(97), uint8(5))
+	f.Add(int64(8), uint16(420), uint16(32), uint8(3))
 	f.Fuzz(func(t *testing.T, seed int64, nRows, batch uint16, mode uint8) {
 		rows := int(nRows) % 800
 		batchSize := int(batch)%MaxBatch + 1
-		shape := int(mode) % 3
+		shape := int(mode) % 4
 		r := rand.New(rand.NewSource(seed))
 		pred := randExpr(r, 2, 5)
 		exprSeed := r.Int63()
@@ -211,6 +216,29 @@ func FuzzVecExec(f *testing.F) {
 					Keys: keys, BatchSize: batchSize,
 				}},
 			}, msV, []*exec.Meter{mScanV, mBuildV, mJoinV, mTopV})
+		case 3:
+			// Broken chain: the vector scan is a chain top adapted back to
+			// rows mid-plan, feeding a row-mode aggregate. The RowSource's
+			// boundary charges are attributed to the chain-top scan's meter
+			// (Set/M), so the partition check proves the transition cost
+			// lands exactly where the planner prices it.
+			ra := rand.New(rand.NewSource(exprSeed))
+			groupBy := []exec.Expr{exec.Col{Idx: ra.Intn(5)}}
+			aggs := []exec.AggSpec{
+				{Kind: exec.AggSum, Arg: randExpr(ra, 1, 5), Name: "s"},
+				{Kind: exec.AggCount, Name: "n"},
+			}
+			want = runMetered(t, er, &exec.Metered{Set: msR, M: mTopR, Child: &exec.GroupBy{
+				Ctx: er.Ctx, Child: scanR, GroupBy: groupBy, Aggs: aggs,
+			}}, msR, []*exec.Meter{mScanR, mTopR})
+			got = runMetered(t, ev, &exec.Metered{Set: msV, M: mTopV, Child: &exec.GroupBy{
+				Ctx: ev.Ctx,
+				Child: &RowSource{
+					Ctx: ev.Ctx, Set: msV, M: mScanV,
+					Child: scanV,
+				},
+				GroupBy: groupBy, Aggs: aggs,
+			}}, msV, []*exec.Meter{mScanV, mTopV})
 		default:
 			ra := rand.New(rand.NewSource(exprSeed))
 			exprs := make([]exec.Expr, ra.Intn(3)+1)

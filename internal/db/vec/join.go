@@ -16,9 +16,9 @@ const hashEntryBytes = 16
 // a row buffer and hashed in batch-width chunks (one dispatch per chunk
 // instead of per row), then each probe batch runs one key-hash kernel and
 // one probe pass, and matches are gathered into an output batch charged one
-// gather primitive per output column per batch but backed lazily by the
-// assembled rows (like the sort's emit), so a parent kernel pays
-// materialization only for the columns it actually touches.
+// gather dispatch per batch plus two block row-copies per match, backed
+// lazily by the assembled rows (like the sort's emit), so a parent kernel
+// pays materialization only for the columns it actually touches.
 //
 // The simulated traffic keeps the row join's shape where the hardware would
 // not change: bucket probes and chain walks stay dependent loads into a
@@ -49,6 +49,7 @@ type HashJoin struct {
 	tableBase uint64
 	tableSize uint64
 	buildBase uint64
+	rowBase   uint64 // scratch address of the assembled-row output buffer
 
 	out   *Batch
 	pairP []int32 // per output position: probe batch position
@@ -170,6 +171,12 @@ func (j *HashJoin) Open() error {
 	}
 
 	j.out = NewBatch(j.Ctx.Arena, j.Schema(), chunk)
+	outWidth := uint64(j.Schema().RowWidth())
+	if outWidth == 0 {
+		outWidth = 8
+	}
+	outLines := (outWidth + 63) / 64
+	j.rowBase = j.Ctx.Arena.Alloc(uint64(chunk)*outLines*memsim.LineSize, memsim.LineSize)
 	j.rowBuf = make([]value.Row, chunk)
 	//lint:nopoll bounded by one batch (at most MaxBatch rows), pure allocation
 	for i := range j.rowBuf {
@@ -291,29 +298,43 @@ func (j *HashJoin) Next() (*Batch, error) {
 }
 
 // gather emits the matched pairs as an output batch backed lazily by the
-// assembled rows. The charge is one gather primitive per output column — a
-// dispatch, a source load, a move and a payload store per element: probe
-// columns read from the probe batch, build columns from the build row
-// buffer. The row assembly itself is two block copies per pair, and a
-// parent kernel materializes only the columns it touches (the residual's
-// columns, then whatever the consumer reads).
+// assembled rows. The charge is one gather dispatch per batch plus the real
+// row assembly — two block copies per pair: the probe row out of the
+// (cache-hot, just-produced) probe batch and the build row out of the build
+// buffer, whose scattered first-line access keeps real buffer addresses so
+// the simulator sees the table-sized working set. No per-column vector
+// traffic happens here: the output stays rows-backed, and a parent kernel
+// pays materialization (Batch.Col) only for the columns it actually touches
+// — the consumer's demand, not the join's supply — so unreferenced columns
+// of wide rows move nothing beyond the block copy.
 func (j *HashJoin) gather(out *Batch) {
 	n := uint64(len(j.pairP))
 	h := j.Ctx.M.Hier
 	np := len(j.Probe.Schema().Columns)
-	nb := len(j.Build.Schema().Columns)
-	for c := 0; c < np; c++ {
-		j.Ctx.TupleCost()
-		h.LoadRepeat(j.probe.Cols[c].addr, n*KernelLoadsPerVal)
-		h.Exec(n, memsim.InstrAdd)
-		h.StoreRepeat(out.Cols[c].addr, n*KernelStoresPerVal)
+	width := uint64(j.Build.Schema().RowWidth())
+	if width == 0 {
+		width = 8
 	}
-	for c := 0; c < nb; c++ {
-		j.Ctx.TupleCost()
-		h.LoadRepeat(j.buildBase, n*KernelLoadsPerVal)
-		h.Exec(n, memsim.InstrAdd)
-		h.StoreRepeat(out.Cols[np+c].addr, n*KernelStoresPerVal)
+	buildLines := (width + 63) / 64
+	probeWidth := uint64(j.Probe.Schema().RowWidth())
+	if probeWidth == 0 {
+		probeWidth = 8
 	}
+	probeLines := (probeWidth + 63) / 64
+	bufBytes := uint64(len(j.buildRows)) * width
+	if bufBytes == 0 {
+		bufBytes = memsim.LineSize
+	}
+	j.Ctx.TupleCost()
+	for _, bi := range j.pairB {
+		// Dependent first-line load of the matched build row at its real
+		// buffer offset; trailing lines of the row ride the open line(s).
+		h.Load(j.buildBase+uint64(bi)*width%bufBytes, true)
+	}
+	h.LoadRepeat(j.rowBase, n*(buildLines-1))
+	h.LoadRepeat(j.rowBase, n*probeLines)
+	h.StoreRepeat(j.rowBase, n*(probeLines+buildLines))
+	h.Exec(2*n, memsim.InstrAdd)
 	for i := range j.pairP {
 		dst := j.rowBuf[i]
 		j.probe.Row(int(j.pairP[i]), dst[:np])

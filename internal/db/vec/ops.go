@@ -397,16 +397,41 @@ func (g *Agg) Close() error {
 	return nil
 }
 
-// RowSource adapts a vectorized chain back to the row Operator interface so
-// it can sit under row-at-a-time parents (sorts, joins, the drain loop). The
-// adapter itself is charge-free: all simulated traffic happens inside the
-// vectorized operators it pulls from.
-type RowSource struct {
-	Child Operator
+// Boundary-crossing charge model. Adapting a vectorized chain back to rows
+// is where the batch representation's lazy-materialization savings end: a
+// row consumer takes whole rows, so every vector→row crossing pays one
+// adapter dispatch per batch plus a full-width row copy per row —
+// BoundaryLoadsPerLine cache-line loads out of the batch's backing and
+// BoundaryStoresPerLine stores into the handed-out row, plus
+// BoundaryInstrPerRow move/bookkeeping instructions. The constants are
+// exported so the planner's transition estimate (plan.costBoundary) mirrors
+// the adapter's charges exactly: chain-wise mode selection prices a broken
+// chain against precisely what RowSource will charge at run time.
+const (
+	BoundaryLoadsPerLine  = 1
+	BoundaryStoresPerLine = 1
+	BoundaryInstrPerRow   = 2
+)
 
-	b   *Batch
-	k   int
-	out value.Row
+// RowSource adapts a vectorized chain back to the row Operator interface so
+// it can sit under row-at-a-time parents (sorts, joins, the drain loop).
+// The adapter charges the boundary-crossing model above against Ctx; when
+// Set/M are provided the charges are attributed to M (the chain-top
+// operator's meter), keeping the per-operator partition of a metered plan
+// exact and aligned with the planner, which folds the same transition price
+// into the chain-top node's estimate.
+type RowSource struct {
+	Ctx   *exec.Ctx
+	Child Operator
+	// Set/M optionally attribute the adapter's charges to a meter.
+	Set *exec.MeterSet
+	M   *exec.Meter
+
+	b     *Batch
+	k     int
+	out   value.Row
+	base  uint64
+	lines uint64
 }
 
 // Schema implements exec.Operator.
@@ -415,8 +440,38 @@ func (r *RowSource) Schema() *catalog.Schema { return r.Child.Schema() }
 // Open implements exec.Operator.
 func (r *RowSource) Open() error {
 	r.b, r.k = nil, 0
-	r.out = make(value.Row, len(r.Child.Schema().Columns))
+	schema := r.Child.Schema()
+	r.out = make(value.Row, len(schema.Columns))
+	if r.Ctx != nil {
+		width := schema.RowWidth()
+		if width <= 0 {
+			width = 8
+		}
+		r.lines = uint64((width + 63) / 64)
+		r.base = r.Ctx.Arena.Alloc(r.lines*memsim.LineSize, memsim.LineSize)
+	}
 	return r.Child.Open()
+}
+
+// charge prices one boundary event — per-batch dispatch or per-row copy —
+// under the adapter's meter window, if any.
+func (r *RowSource) charge(rows uint64, dispatch bool) {
+	if r.Ctx == nil {
+		return
+	}
+	if r.Set != nil {
+		r.Set.Enter(r.M)
+		defer r.Set.Exit(r.M)
+	}
+	if dispatch {
+		r.Ctx.TupleCost()
+	}
+	if rows > 0 {
+		h := r.Ctx.M.Hier
+		h.LoadRepeat(r.base, rows*r.lines*BoundaryLoadsPerLine)
+		h.StoreRepeat(r.base, rows*r.lines*BoundaryStoresPerLine)
+		h.Exec(rows*BoundaryInstrPerRow, memsim.InstrOther)
+	}
 }
 
 // Next implements exec.Operator. The returned row is reused; buffering
@@ -425,6 +480,7 @@ func (r *RowSource) Next() (value.Row, bool, error) {
 	for {
 		if r.b != nil && r.k < r.b.Len() {
 			r.b.Row(r.k, r.out)
+			r.charge(1, false)
 			r.k++
 			return r.out, true, nil
 		}
@@ -435,6 +491,7 @@ func (r *RowSource) Next() (value.Row, bool, error) {
 		if b == nil {
 			return nil, false, nil
 		}
+		r.charge(0, true)
 		r.b, r.k = b, 0
 	}
 }

@@ -107,6 +107,7 @@ func Experiments() []Experiment {
 		{"X6", "Extension: energy-aware logical-plan optimizer accuracy (predicted vs measured E_active)", RunExtensionOptimizer},
 		{"X7", "Extension: vectorized execution and the L1D bottleneck (share with/without vectorization)", RunExtensionVector},
 		{"X8", "Extension: vectorized join/sort vs forced-row execution (join-dominated subset deltas)", RunExtensionJoin},
+		{"X9", "Extension: estimator accuracy sweep after chain-wise mode pricing (predicted vs measured E_active)", RunExtensionAccuracy},
 	}
 }
 

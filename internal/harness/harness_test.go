@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -24,7 +26,7 @@ func skipIfShort(t *testing.T) {
 }
 
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8"}
+	want := []string{"T1", "T2", "T3", "T5", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F13", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
@@ -262,6 +264,38 @@ func TestExtensionVectorQuick(t *testing.T) {
 		if !strings.Contains(res.Text, s) {
 			t.Errorf("X7 missing %q:\n%s", s, res.Text)
 		}
+	}
+}
+
+// TestExtensionAccuracyQuick checks X9's shape: the sweep rows, the README
+// join example row, and the within-band summary lines all render. It also
+// pins the acceptance band on the README join example itself — the query
+// whose 2x over-prediction motivated the chain-wise estimator rework — so a
+// cost-model regression that pushes it back out of +/-25% fails here, not
+// only in the full X9 sweep.
+func TestExtensionAccuracyQuick(t *testing.T) {
+	skipIfShort(t)
+	res, err := RunExtensionAccuracy(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"Q1", "Q6", "README", "prediction within", "README join example error", "worst absolute error"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("X9 missing %q:\n%s", s, res.Text)
+		}
+	}
+	readme := ""
+	for _, line := range strings.Split(res.Text, "\n") {
+		if strings.HasPrefix(line, "README join example error:") {
+			readme = line
+		}
+	}
+	var errPct float64
+	if _, err := fmt.Sscanf(readme, "README join example error: %f%%", &errPct); err != nil {
+		t.Fatalf("cannot parse README error line %q: %v", readme, err)
+	}
+	if math.Abs(errPct) > 25 {
+		t.Errorf("README join example predicted E_active off by %+.1f%%, want within +/-25%%", errPct)
 	}
 }
 
