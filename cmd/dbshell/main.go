@@ -394,7 +394,9 @@ func (sh *shell) localSQL(line string) {
 				t := sh.tx
 				sh.tx = nil
 				sh.eng.Bind(t)
-				sh.eng.Rollback(t)
+				if rbErr := sh.eng.Rollback(t); rbErr != nil {
+					fmt.Println("rollback error:", rbErr)
+				}
 				fmt.Printf("error: %v %s\n", runErr, wire.TxnRolledBackSuffix)
 				return
 			}

@@ -51,6 +51,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -384,10 +385,13 @@ func (e *Engine) BeginRead() {
 
 // Commit makes t's writes durable and visible: the WAL commit record is
 // appended and fsynced (group commit) on this worker's device, then the
-// version stamps publish. Read-only transactions skip the log entirely.
+// version stamps publish — each stamped version charged to this worker via
+// Device.ChargeCommit, the mirror of Rollback's undo walk. Read-only
+// transactions skip the log and the stamping entirely.
 func (e *Engine) Commit(t *txn.Txn) error {
-	if t.Writes() > 0 {
+	if n := t.Writes(); n > 0 {
 		e.shared.Wal.Commit(e.Dev, t.ID())
+		e.Dev.ChargeCommit(n)
 	}
 	_, err := e.shared.Txns.Commit(t)
 	e.Unbind()
@@ -717,7 +721,9 @@ func (e *Engine) UpdateWhere(t *Table, pred exec.Expr, set func(value.Row) value
 	tx := e.Begin()
 	n, err := e.UpdateWhereTxn(tx, t, pred, set)
 	if err != nil {
-		e.Rollback(tx)
+		if rbErr := e.Rollback(tx); rbErr != nil {
+			return n, errors.Join(err, rbErr)
+		}
 		return n, err
 	}
 	if err := e.Commit(tx); err != nil {
@@ -765,7 +771,9 @@ func (e *Engine) DeleteWhere(t *Table, pred exec.Expr) (int, error) {
 	tx := e.Begin()
 	n, err := e.DeleteWhereTxn(tx, t, pred)
 	if err != nil {
-		e.Rollback(tx)
+		if rbErr := e.Rollback(tx); rbErr != nil {
+			return n, errors.Join(err, rbErr)
+		}
 		return n, err
 	}
 	if err := e.Commit(tx); err != nil {

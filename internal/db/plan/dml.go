@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"errors"
 	"fmt"
 
 	"energydb/internal/db/catalog"
@@ -22,7 +23,9 @@ func ExecWrite(e *engine.Engine, tx *txn.Txn, stmt sql.Statement) (int, error) {
 		t := e.Begin()
 		n, err := execWriteTxn(e, t, stmt)
 		if err != nil {
-			e.Rollback(t)
+			if rbErr := e.Rollback(t); rbErr != nil {
+				return n, errors.Join(err, rbErr)
+			}
 			return n, err
 		}
 		return n, e.Commit(t)

@@ -121,6 +121,27 @@ func (dev *Device) ChargeUndo(n int) {
 	}
 }
 
+// ChargeCommit simulates stamping n written versions at commit: each stamp
+// is a dependent load of the version header followed by a store of the
+// begin/end timestamp line — the mirror image of ChargeUndo, so publishing
+// work costs energy in proportion to the work being published. The txn
+// manager's stamping loop itself is machine-free (it is shared across
+// workers); the committing worker pays here.
+func (dev *Device) ChargeCommit(n int) {
+	if n <= 0 {
+		return
+	}
+	if dev.verBase == 0 {
+		dev.verBase = dev.Arena.Alloc(versionArenaBytes, memsim.PageSize)
+	}
+	h := dev.M.Hier
+	for i := 0; i < n; i++ {
+		h.Load(dev.verBase+dev.verOff, true)
+		h.StoreRange(dev.verBase+dev.verOff, memsim.LineSize)
+		dev.verOff = (dev.verOff + memsim.LineSize) % versionArenaBytes
+	}
+}
+
 // DiskModel gives per-page read latencies for the local SATA drive of the
 // paper's testbed plus the OS page-cache hit cost. Sequential reads ride OS
 // readahead; random reads seek.

@@ -209,6 +209,10 @@ func (m *Manager) Commit(t *Txn) (uint64, error) {
 	if len(t.records) > 0 {
 		m.commitMu.Lock()
 		ts = m.last.Load() + 1
+		// The manager is shared across workers and machine-free; the
+		// committing worker pays for each stamp via Device.ChargeCommit
+		// in engine.Commit.
+		//lint:nocharge stamping is charged by engine.Commit (Device.ChargeCommit)
 		for _, r := range t.records {
 			r.Commit(ts)
 		}
@@ -231,6 +235,9 @@ func (m *Manager) Abort(t *Txn) error {
 	if t.status != StatusActive {
 		return ErrNotActive
 	}
+	// The undo walk is charged by engine.Rollback (Device.ChargeUndo) on
+	// the aborting worker's device; the shared manager stays machine-free.
+	//lint:nocharge undo is charged by engine.Rollback (Device.ChargeUndo)
 	for i := len(t.records) - 1; i >= 0; i-- {
 		t.records[i].Abort()
 	}

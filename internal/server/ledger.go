@@ -42,6 +42,21 @@ func (l *Ledger) Add(b core.Breakdown) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.t.Queries++
+	l.addEnergyLocked(b)
+}
+
+// AddEnergy folds a breakdown's energy into the ledger without counting a
+// retired statement. Error and timeout paths use it: the statement failed
+// (Queries stays put, per the wire contract) but its measured joules were
+// really spent, and they must still land somewhere or the session ledgers
+// stop partitioning Server.Totals.
+func (l *Ledger) AddEnergy(b core.Breakdown) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.addEnergyLocked(b)
+}
+
+func (l *Ledger) addEnergyLocked(b core.Breakdown) {
 	l.t.EActive += b.EActive
 	l.t.EBusy += b.EBusy
 	l.t.EBackground += b.EBackground

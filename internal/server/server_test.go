@@ -378,8 +378,10 @@ func TestLedgerPartitionParallel(t *testing.T) {
 
 // TestStmtTimeout checks the runaway-statement guard: with a tiny statement
 // timeout the query is canceled cooperatively, the client gets a statement
-// error (not a dropped connection), the session stays usable, and nothing
-// enters the ledgers.
+// error (not a dropped connection), the session stays usable, and no
+// statement is counted as retired (the energy a canceled statement did
+// spend still lands in the ledgers; see
+// TestFailedStatementEnergyConserved).
 func TestStmtTimeout(t *testing.T) {
 	srv, addr := startServerCfg(t, server.Config{Workers: 1, StmtTimeout: time.Nanosecond})
 	conn, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
@@ -407,6 +409,32 @@ func TestStmtTimeout(t *testing.T) {
 	}
 	if got := srv.Totals().Queries; got != 0 {
 		t.Errorf("timed-out statements entered the ledger: %d queries", got)
+	}
+}
+
+// TestFailedStatementEnergyConserved is the retirepath analyzer's dynamic
+// twin: a statement canceled partway through has really spent simulated
+// joules, and dropping its measured breakdown on the error path would break
+// the session-ledgers-partition-the-server-total invariant. The timeout is
+// long enough for the scan to do real work before the watchdog fires, so
+// the conserved energy is observable; the query count must still read 0.
+func TestFailedStatementEnergyConserved(t *testing.T) {
+	srv, addr := startServerCfg(t, server.Config{Workers: 1, StmtTimeout: 2 * time.Millisecond})
+	conn, err := client.Dial(addr, client.Options{Engine: "sqlite", Setting: "baseline", Class: "10MB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Query(`\q1`); err == nil {
+		t.Skip("query finished inside the 2ms timeout; cannot observe a canceled statement")
+	}
+	tot := srv.Totals()
+	if tot.Queries != 0 {
+		t.Fatalf("canceled statement counted as retired: %d queries", tot.Queries)
+	}
+	if tot.EActive <= 0 {
+		t.Fatalf("canceled statement's measured energy was dropped: EActive = %v", tot.EActive)
 	}
 }
 

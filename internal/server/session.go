@@ -260,6 +260,20 @@ func (s *session) retire(name, text, planSummary string, rows uint64, wallSecond
 	s.wk.tickGovernor()
 }
 
+// retireEnergy books a failed statement's measured energy without counting
+// it as a retired query: the joules were really spent, so they must reach
+// the session and worker ledgers (which partition Server.Totals exactly)
+// even though the statement errored and never counts toward Queries. Like
+// retire, it MUST run on the worker goroutine as the tail of the
+// statement's own job.
+func (s *session) retireEnergy(b core.Breakdown) {
+	if b.EActive == 0 && b.Seconds == 0 {
+		return
+	}
+	s.ledger.AddEnergy(b)
+	s.wk.ledger.AddEnergy(b)
+}
+
 // txnCtl runs one transaction-control operation as a profiled job on the
 // session's worker. Commit fsyncs the WAL and rollback walks the undo chain,
 // so both charge energy; retiring the operation as a statement keeps the
@@ -363,12 +377,18 @@ func (s *session) executeDML(stmt sql.Statement, text string) (name string, cols
 			tx := s.tx
 			s.tx = nil
 			s.eng.Bind(tx)
-			rb := s.wk.prof.Profile("rollback", func() { s.eng.Rollback(tx) })
+			var rbErr error
+			rb := s.wk.prof.Profile("rollback", func() { rbErr = s.eng.Rollback(tx) })
+			if rbErr != nil {
+				runErr = errors.Join(runErr, rbErr)
+			}
 			s.retire("rollback", "rollback", "", 0, time.Since(start).Seconds(), rb)
 			rolledBack = true
 		}
 		if runErr == nil {
 			s.retire(name, text, "", uint64(affected), time.Since(start).Seconds(), b)
+		} else {
+			s.retireEnergy(b)
 		}
 	}); submitErr != nil {
 		return "", nil, nil, b, "exec", submitErr
@@ -482,6 +502,8 @@ func (s *session) execute(text string) (name string, cols []string, rows []value
 		s.eng.Ctx.Cancel = nil
 		if runErr == nil {
 			s.retire(name, text, planSummary, uint64(len(rows)), time.Since(start).Seconds(), b)
+		} else {
+			s.retireEnergy(b)
 		}
 	}); submitErr != nil {
 		return "", nil, nil, b, "exec", submitErr
@@ -524,6 +546,8 @@ func (s *session) explain(ex *sql.ExplainStmt, text string) (name string, cols [
 			if innerErr == nil {
 				planned = true
 				s.retire(name, text, summary, uint64(len(rows)), time.Since(start).Seconds(), b)
+			} else {
+				s.retireEnergy(b)
 			}
 			return
 		}
@@ -546,6 +570,8 @@ func (s *session) explain(ex *sql.ExplainStmt, text string) (name string, cols [
 		s.eng.Ctx.Cancel = nil
 		if innerErr == nil {
 			s.retire(name, text, p.Summary(), uint64(len(rows)), time.Since(start).Seconds(), b)
+		} else {
+			s.retireEnergy(b)
 		}
 	}); submitErr != nil {
 		return "", nil, nil, b, "exec", submitErr
