@@ -216,6 +216,10 @@ func (g *GroupBy) Open() error {
 
 	g.groups = make([]value.Row, len(order))
 	for i, grp := range order {
+		// Result extraction: one arithmetic op per aggregate plus the row
+		// build — the finalization work the hash-table update loop above
+		// never charged (chargepath finding).
+		g.Ctx.Compute(1 + len(g.Aggs))
 		out := make(value.Row, 0, len(grp.keyVals)+len(g.Aggs))
 		out = append(out, grp.keyVals...)
 		for k, a := range g.Aggs {

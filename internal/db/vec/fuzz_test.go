@@ -86,8 +86,13 @@ func randExpr(r *rand.Rand, depth, ncols int) exec.Expr {
 }
 
 // runMetered drains op with every operator's meter registered in ms and
-// checks the ledger-partition invariant: the per-operator exclusive
-// counters must sum exactly to the statement's counter delta.
+// checks two ledger invariants: the per-operator exclusive counters must
+// sum exactly to the statement's counter delta (the EXPLAIN ENERGY
+// partition), and whenever the statement emits rows, no operator on the
+// plan may report zero charged micro-ops — every metered operator sits on
+// the path that produced those rows, so a zero meter means its work went
+// unattributed (exactly the silent-loop defect the chargepath analyzer
+// guards statically).
 func runMetered(t *testing.T, e *engine.Engine, op exec.Operator, ms *exec.MeterSet, meters []*exec.Meter) []value.Row {
 	t.Helper()
 	before := e.M.Hier.Counters()
@@ -102,6 +107,14 @@ func runMetered(t *testing.T, e *engine.Engine, op exec.Operator, ms *exec.Meter
 	}
 	if sum != delta {
 		t.Fatalf("metered counters do not partition the statement delta:\n sum   %+v\n delta %+v", sum, delta)
+	}
+	if len(rows) > 0 {
+		for _, m := range meters {
+			if m.Own().Instructions() == 0 {
+				t.Fatalf("operator %q reports zero charged micro-ops while the statement emitted %d rows (unattributed work)",
+					m.Label, len(rows))
+			}
+		}
 	}
 	return rows
 }

@@ -213,6 +213,11 @@ func (p *Project) Next() (*Batch, error) {
 		return nil, err
 	}
 	p.Ctx.Poll()
+	// One driver dispatch per projected batch, mirroring Scan and Prune: a
+	// column-only projection reaches no kernel (evalVec hands the child's
+	// vector back as-is), and without this charge it would emit every batch
+	// with zero attributed work (chargepath finding).
+	p.Ctx.TupleCost()
 	p.p.reset()
 	for i, e := range p.Exprs {
 		p.out.Cols[i] = evalVec(p.Ctx, p.p, e, b)
@@ -351,6 +356,15 @@ func (g *Agg) Open() error {
 		}
 	}
 
+	// Finalization: one table-scan primitive over the accumulated groups —
+	// each group's bucket is re-read and its accumulators folded into output
+	// rows. This is real per-group work the meter must see (chargepath
+	// finding); the row executor's GroupBy.Open charges the same way.
+	g.Ctx.TupleCost()
+	if len(order) > 0 {
+		h.LoadRepeat(tableBase, uint64(len(order)))
+		h.Exec(uint64(len(order)*(len(g.GroupBy)+len(g.Aggs))), memsim.InstrAdd)
+	}
 	g.groups = make([]value.Row, len(order))
 	for i, grp := range order {
 		out := make(value.Row, 0, len(grp.keyVals)+len(g.Aggs))
@@ -492,7 +506,7 @@ func (r *RowSource) Next() (value.Row, bool, error) {
 			return nil, false, nil
 		}
 		r.charge(0, true)
-		r.b, r.k = b, 0
+		r.b, r.k = b, 0 //lint:poolescape held only until the next Child.Next pull; the cursor drains the batch row-by-row before re-pulling
 	}
 }
 
