@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint staticcheck vulncheck race check golden-drift bench bench-txn bench-join fuzz smoke
+.PHONY: all build test vet lint lint-bench staticcheck vulncheck race check golden-drift bench bench-txn bench-join fuzz smoke
 
 all: build
 
@@ -18,10 +18,23 @@ vet:
 	$(GO) vet ./...
 
 # energylint: the project's own stdlib-only analyzer suite (see DESIGN.md
-# §10). The whole module is type-checked once and shared by all five
-# analyzers, so a full run stays in single-digit seconds.
+# §10 and §15). The whole module is type-checked once and shared by all
+# analyzers — including the CFG/dataflow chargeflow suite — so a full run
+# stays in single-digit seconds.
 lint:
 	$(GO) run ./cmd/energylint ./...
+
+# Budget gate for the analyzer suite itself: the full-repo run (load +
+# type-check + all analyzers, chargeflow CFG fixpoint included) must stay
+# under 10 seconds so `make lint` remains a pre-commit habit rather than
+# a CI-only chore. Uses the prebuilt binary so the budget measures
+# analysis, not compilation.
+lint-bench:
+	@$(GO) build -o /tmp/energylint-bench ./cmd/energylint && \
+	start=$$(date +%s%N) && /tmp/energylint-bench ./... && end=$$(date +%s%N) && \
+	ms=$$(( (end - start) / 1000000 )) && \
+	echo "lint-bench: full-repo analyzer run took $$ms ms (budget 10000 ms)" && \
+	if [ $$ms -gt 10000 ]; then echo "lint-bench: over budget"; exit 1; fi
 
 # Static analysis beyond vet. Skipped with a notice when the binary is not
 # installed (CI installs it; local runs stay dependency-free).

@@ -288,6 +288,7 @@ func (j *NestedLoopJoin) Close() error { return j.Outer.Close() }
 // match out of one.
 func joinKey(r value.Row, idx []int) (value.Key, bool) {
 	vals := make([]value.Value, len(idx))
+	//lint:nocharge key-column loads are charged by the calling operator's per-tuple cost (EmitRow/EvalCost at the join loop)
 	for i, j := range idx {
 		if r[j].IsNull() {
 			return value.Key{}, false

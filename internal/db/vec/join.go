@@ -179,7 +179,7 @@ func (j *HashJoin) Open() error {
 	j.rowBase = j.Ctx.Arena.Alloc(uint64(chunk)*outLines*memsim.LineSize, memsim.LineSize)
 	j.rowBuf = make([]value.Row, chunk)
 	//lint:nopoll bounded by one batch (at most MaxBatch rows), pure allocation
-	for i := range j.rowBuf {
+	for i := range j.rowBuf { //lint:nocharge one-time output-buffer allocation; emitted rows are charged per batch in gather
 		j.rowBuf[i] = make(value.Row, len(j.Schema().Columns))
 	}
 	j.p = newPool(j.Ctx, chunk)
@@ -244,6 +244,7 @@ func (j *HashJoin) Next() (*Batch, error) {
 	for {
 		// Drain the current bucket chain: each entry is a pointer chase,
 		// exactly as the row join walks it.
+		//lint:nocharge dispatch is charged per probe batch (probeKeys) and per emitted batch (gather); the chain walk itself charges a dependent load each hop
 		for j.mi < len(j.matches) && len(j.pairP) < capN {
 			h.Load(j.tableBase+uint64(j.mi+1)*hashEntryBytes%j.tableSize, true)
 			j.pairP = append(j.pairP, int32(j.curK))
@@ -278,7 +279,7 @@ func (j *HashJoin) Next() (*Batch, error) {
 			break
 		}
 		j.Ctx.Poll()
-		j.probe = b
+		j.probe = b //lint:poolescape held only until the next Probe.Next pull; every row is gathered out before re-pulling
 		j.pk = 0
 		if b.Len() == 0 {
 			continue

@@ -56,6 +56,10 @@ func TestGoldenLockOrder(t *testing.T)    { golden(t, AnalyzerLockOrder) }
 func TestGoldenCancelPoll(t *testing.T)   { golden(t, AnalyzerCancelPoll) }
 func TestGoldenLedgerRetire(t *testing.T) { golden(t, AnalyzerLedgerRetire) }
 func TestGoldenWireSym(t *testing.T)      { golden(t, AnalyzerWireSym) }
+func TestGoldenChargePath(t *testing.T)   { golden(t, AnalyzerChargePath) }
+func TestGoldenPoolEscape(t *testing.T)   { golden(t, AnalyzerPoolEscape) }
+func TestGoldenWalErr(t *testing.T)       { golden(t, AnalyzerWalErr) }
+func TestGoldenRetirePath(t *testing.T)   { golden(t, AnalyzerRetirePath) }
 
 // TestRepoClean asserts the full suite reports nothing on the repository
 // itself: every real finding has been fixed or carries a justified waiver,

@@ -25,16 +25,35 @@
 //   - wiresym: wire frame types whose Encode/Decode/String surfaces are
 //     asymmetric.
 //
+// The chargeflow analyzers run on a CFG + dataflow engine (cfg.go,
+// dataflow.go, summary.go) with an interprocedural charge summary, and
+// prove path-sensitive energy-attribution soundness:
+//
+//   - chargepath: every executor loop that advances tuples, batches,
+//     pages or version chains must charge the meter on every completing
+//     iteration (vectorized loops additionally owe a per-batch driver
+//     dispatch, and emit boundaries a direct cancellation poll).
+//   - poolescape: pooled vec batches/vectors pulled from an operator or
+//     pool must not be retained in fields or growing slices past their
+//     reuse point.
+//   - walerr: WAL/engine/txn/storage durability errors
+//     (Commit/Rollback/Abort/Sync/Append) must reach the caller or the
+//     abort path on every CFG path.
+//   - retirepath: every profiled statement breakdown must be retired
+//     into the ledgers on every path, including error returns.
+//
 // # Waivers
 //
 // A finding can be waived with a //lint:<key> comment on the flagged line
 // or the line directly above it, where <key> is the analyzer's waiver key
-// (counterdelta uses "monotonic", cancelpoll uses "nopoll", the others use
-// their own name). Waivers should carry a justification after the key:
+// (counterdelta uses "monotonic", cancelpoll uses "nopoll", chargepath
+// uses "nocharge", the others use their own name). Waivers should carry a
+// justification after the key:
 //
 //	//lint:monotonic Transitions only advances on this goroutine
 //
-// DESIGN.md §10 catalogues each rule, its origin and its waiver syntax.
+// DESIGN.md §10 catalogues each rule, its origin and its waiver syntax;
+// §15 documents the CFG/dataflow engine behind the chargeflow analyzers.
 package lint
 
 import (
@@ -75,6 +94,10 @@ func All() []*Analyzer {
 		AnalyzerCancelPoll,
 		AnalyzerLedgerRetire,
 		AnalyzerWireSym,
+		AnalyzerChargePath,
+		AnalyzerPoolEscape,
+		AnalyzerWalErr,
+		AnalyzerRetirePath,
 	}
 }
 

@@ -31,6 +31,33 @@ type Program struct {
 	std     types.Importer      // stdlib importer (gc export data)
 	stdSrc  types.Importer      // fallback stdlib importer (source)
 	waivers map[string]map[int]map[string]bool
+
+	// chargeSum and cfgCache are lazily-built chargeflow engine state,
+	// shared by every analyzer pass over this program (summary.go, cfg.go).
+	chargeSum *summary
+	cfgCache  map[*ast.BlockStmt]*cfg
+}
+
+// chargeSummary returns the interprocedural charge/dispatch/poll summary,
+// building it on first use and caching it for every subsequent pass.
+func (prog *Program) chargeSummary() *summary {
+	if prog.chargeSum == nil {
+		prog.chargeSum = buildSummary(prog)
+	}
+	return prog.chargeSum
+}
+
+// cfgOf returns the (cached) control-flow graph of a function body.
+func (prog *Program) cfgOf(body *ast.BlockStmt) *cfg {
+	if prog.cfgCache == nil {
+		prog.cfgCache = make(map[*ast.BlockStmt]*cfg)
+	}
+	if g, ok := prog.cfgCache[body]; ok {
+		return g
+	}
+	g := buildCFG(body)
+	prog.cfgCache[body] = g
+	return g
 }
 
 // Package is one type-checked package.

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerRetirePath proves that statement execution retires its measured
+// energy on every path. The server's accounting contract: each profiled
+// statement section (prof.Profile(...) returning a core.Breakdown) must be
+// folded into the session/worker ledgers whether the statement succeeds,
+// fails, or unwinds early — otherwise the energy was measured, the device
+// counters advanced, and the joules simply vanish from the ledger
+// (energy-conservation violation between the per-query and per-session
+// views).
+//
+// The analysis gates on scopes that both profile and retire (a scope with
+// a Profile call but no retire-family call is a measurement harness, not
+// statement execution), then checks each Profile-result variable with CFG
+// liveness: no path from the Profile call to function exit may avoid every
+// statement that consumes the breakdown.
+var AnalyzerRetirePath = &Analyzer{
+	Name:      "retirepath",
+	Doc:       "profiled statement breakdowns must be retired to the ledgers on every path, including error and early-return paths",
+	WaiverKey: "retirepath",
+	Run:       runRetirePath,
+}
+
+func runRetirePath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, fs := range funcScopes(f) {
+			checkRetireScope(p, fs)
+		}
+	}
+}
+
+func checkRetireScope(p *Pass, fs funcScope) {
+	hasProfile, hasRetire := false, false
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if name == "Profile" {
+			hasProfile = true
+		}
+		if strings.Contains(strings.ToLower(name), "retire") {
+			hasRetire = true
+		}
+		return true
+	})
+	if !hasProfile || !hasRetire {
+		return
+	}
+
+	g := p.Prog.cfgOf(fs.body)
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Profile" {
+			return true
+		}
+		id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		def := g.byStmt[ast.Stmt(st)]
+		if def == nil {
+			return true
+		}
+		consumes := func(s ast.Stmt) bool {
+			if s == ast.Stmt(st) {
+				return false
+			}
+			return stmtMentions(p, s, obj)
+		}
+		if avoidSearch(def, map[*cnode]bool{g.exit: true}, consumes) {
+			p.Reportf(st.Pos(),
+				"%s: profiled breakdown %q can reach function exit without being retired to the ledger; every path (success, error, early return) must account the measured energy",
+				fs.name, obj.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,3 @@
+module fixture.example/chargepath
+
+go 1.22

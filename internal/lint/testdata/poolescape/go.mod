@@ -1,0 +1,3 @@
+module fixture.example/poolescape
+
+go 1.22

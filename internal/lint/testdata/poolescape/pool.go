@@ -1,0 +1,82 @@
+// Package poolescape exercises the pooled-loan analyzer: batches and
+// vectors handed out by Next/NextBatch/evalVec/pool.get are loans that
+// the pool will overwrite on the next pull, so retaining one in a field
+// or a growing slice aliases memory that is about to be recycled.
+package poolescape
+
+// Batch is the pooled batch stand-in.
+type Batch struct{ N int }
+
+// Vector is the pooled column stand-in.
+type Vector struct{}
+
+// Operator is the batch-at-a-time contract.
+type Operator interface {
+	Next() (*Batch, error)
+}
+
+// pool hands out recycled vectors.
+type pool struct{ vecs []*Vector }
+
+func (p *pool) get() *Vector { return p.vecs[0] }
+
+type collector struct {
+	Child Operator
+	p     *pool
+	saved *Batch
+	all   []*Batch
+	cols  []*Vector
+}
+
+// buffer retains every pulled batch: both the field store and the append
+// alias memory the child's pool reuses on the next Next call.
+func (c *collector) buffer() error {
+	for {
+		b, err := c.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		c.saved = b
+		c.all = append(c.all, b)
+	}
+}
+
+// scratch parks a pooled vector in a long-lived slot.
+func (c *collector) scratch() {
+	v := c.p.get()
+	c.cols[0] = v
+}
+
+// consume reads the loan and drops it before re-pulling: clean.
+func (c *collector) consume() (int, error) {
+	n := 0
+	for {
+		b, err := c.Child.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.N
+	}
+}
+
+// cursor is the waived operator-cursor shape: the batch is held only
+// until the cursor drains it and pulls again.
+type cursor struct {
+	Child Operator
+	b     *Batch
+}
+
+func (c *cursor) advance() error {
+	b, err := c.Child.Next()
+	if err != nil {
+		return err
+	}
+	c.b = b //lint:poolescape drained row-by-row before the next pull
+	return nil
+}

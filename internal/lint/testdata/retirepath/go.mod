@@ -1,0 +1,3 @@
+module fixture.example/retirepath
+
+go 1.22

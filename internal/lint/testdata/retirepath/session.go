@@ -1,0 +1,51 @@
+// Package retirepath exercises the energy-conservation analyzer: a
+// profiled statement section must be retired into the ledgers on every
+// path — success, error, and early return alike — or the measured
+// joules vanish between the per-query and per-session views.
+package retirepath
+
+// Breakdown is the profiled energy result.
+type Breakdown struct{ E float64 }
+
+// Prof measures one section.
+type Prof struct{}
+
+func (p *Prof) Profile(name string, f func()) Breakdown {
+	f()
+	return Breakdown{}
+}
+
+// Ledger accumulates retired breakdowns.
+type Ledger struct{}
+
+func (l *Ledger) retire(b Breakdown)       {}
+func (l *Ledger) retireEnergy(b Breakdown) {}
+
+type session struct {
+	prof   *Prof
+	ledger *Ledger
+}
+
+// executeLeaky retires only the success path: the error return exits
+// with the measured energy unaccounted.
+func (s *session) executeLeaky(run func() error) error {
+	var runErr error
+	b := s.prof.Profile("execute", func() { runErr = run() })
+	if runErr != nil {
+		return runErr
+	}
+	s.ledger.retire(b)
+	return nil
+}
+
+// executeBalanced accounts both paths: clean.
+func (s *session) executeBalanced(run func() error) error {
+	var runErr error
+	b := s.prof.Profile("execute", func() { runErr = run() })
+	if runErr != nil {
+		s.ledger.retireEnergy(b)
+		return runErr
+	}
+	s.ledger.retire(b)
+	return nil
+}

@@ -1,0 +1,60 @@
+// Package app consumes the durability layers. The broken shapes discard
+// or strand commit/sync errors; the clean shapes propagate, join, or
+// export them through a captured variable.
+package app
+
+import (
+	"errors"
+
+	"fixture.example/walerr/txn"
+	"fixture.example/walerr/wal"
+)
+
+// commitDropped discards every durability error outright.
+func commitDropped(w *wal.Log, m *txn.Manager, t *txn.Txn) {
+	w.Append(nil)
+	_ = w.Sync()
+	m.Commit(t)
+}
+
+// commitDead assigns the error but lets the quiet path reach function
+// exit without ever reading it.
+func commitDead(m *txn.Manager, t *txn.Txn, verbose bool) {
+	err := m.Commit(t)
+	if verbose {
+		println(err)
+	}
+}
+
+// commitChecked propagates the error: clean.
+func commitChecked(m *txn.Manager, t *txn.Txn) error {
+	if err := m.Commit(t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// abortJoined folds the abort error into the statement error: clean.
+func abortJoined(m *txn.Manager, t *txn.Txn, runErr error) error {
+	if err := m.Abort(t); err != nil {
+		runErr = errors.Join(runErr, err)
+	}
+	return runErr
+}
+
+// syncNamed assigns into a named result, so every return reads it: clean.
+func syncNamed(w *wal.Log) (err error) {
+	err = w.Sync()
+	return
+}
+
+// commitCaptured assigns to a variable captured from the enclosing
+// function — the profiled-section shape. The closure scope never reads
+// err, but the assignment propagates out by construction: clean.
+func commitCaptured(m *txn.Manager, t *txn.Txn) error {
+	var err error
+	run(func() { err = m.Commit(t) })
+	return err
+}
+
+func run(f func()) { f() }

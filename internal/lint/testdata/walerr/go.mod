@@ -1,0 +1,3 @@
+module fixture.example/walerr
+
+go 1.22

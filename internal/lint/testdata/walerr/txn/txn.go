@@ -1,0 +1,12 @@
+// Package txn is the transaction-manager stand-in: Commit/Abort errors
+// are durability points the walerr analyzer guards.
+package txn
+
+// Txn is one transaction.
+type Txn struct{}
+
+// Manager commits and aborts transactions.
+type Manager struct{}
+
+func (m *Manager) Commit(t *Txn) error { return nil }
+func (m *Manager) Abort(t *Txn) error  { return nil }
